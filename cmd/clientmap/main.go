@@ -1,0 +1,93 @@
+// Command clientmap runs the full measurement pipeline and answers the
+// questions the paper motivates: does this prefix contain Internet
+// clients? Which ASes host users? How trustworthy is a geolocation entry?
+//
+// Usage:
+//
+//	clientmap -scale small -seed 7 -prefix 1.3.7.0/24 -asn 1234
+//	clientmap -scale tiny -report            # print every table and figure
+//	clientmap -scale small -coverage         # per-country coverage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"clientmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clientmap: ")
+	var (
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		scale    = flag.String("scale", "tiny", "world scale: tiny|small|medium|large")
+		prefix   = flag.String("prefix", "", "look up client activity for this CIDR prefix")
+		asn      = flag.Uint("asn", 0, "look up client activity for this AS number")
+		report   = flag.Bool("report", false, "print the full evaluation report")
+		coverage = flag.Bool("coverage", false, "print per-country user coverage")
+		headline = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
+	)
+	flag.Parse()
+
+	eval, err := clientmap.Run(clientmap.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	did := false
+	if *report {
+		fmt.Println(eval.Text())
+		did = true
+	}
+	if *headline {
+		for _, s := range eval.Headline() {
+			fmt.Printf("%-55s paper %-24s measured %s\n", s.Name, s.Paper, s.Measured)
+		}
+		did = true
+	}
+	if *prefix != "" {
+		act, err := eval.PrefixActive(*prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prefix %s: active=%v cacheProbing=%v dnsLogs=%v", *prefix, act.Active(), act.CacheProbing, act.DNSLogs)
+		if act.ASN != 0 {
+			fmt.Printf(" origin=AS%d", act.ASN)
+		}
+		fmt.Println()
+		trusted, reason, err := eval.GeoTrust(*prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("geolocation trust: %v (%s)\n", trusted, reason)
+		did = true
+	}
+	if *asn != 0 {
+		a := eval.ASActive(uint32(*asn))
+		fmt.Printf("AS%d: cacheProbing=%v dnsLogs=%v relVolume=%.3g apnicUsers=%.0f\n",
+			a.ASN, a.CacheProbing, a.DNSLogs, a.RelativeVolume, a.APNICUsers)
+		did = true
+	}
+	if *coverage {
+		cov := eval.CountryCoverage()
+		countries := make([]string, 0, len(cov))
+		for c := range cov {
+			countries = append(countries, c)
+		}
+		sort.Strings(countries)
+		for _, c := range countries {
+			fmt.Printf("%s %5.1f%%\n", c, cov[c]*100)
+		}
+		did = true
+	}
+	if !did {
+		cp, dl := eval.ActivePrefixCount()
+		fmt.Printf("evaluation complete: %d /24s via cache probing, %d via DNS logs, %d eyeball ASes\n",
+			cp, dl, len(eval.EyeballASNs()))
+		fmt.Fprintln(os.Stderr, "use -report, -headline, -prefix, -asn or -coverage for details")
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"clientmap/internal/analysis"
+	"clientmap/internal/experiments"
+	"clientmap/internal/report"
+)
+
+// writeCSVs exports every table and figure as CSV files for plotting —
+// the regenerable data behind each artifact of the paper's evaluation.
+func writeCSVs(res *experiments.Results, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, t *report.Table) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	// Tables 1-5 as rendered.
+	t5 := res.Table5()
+	for name, t := range map[string]*report.Table{
+		"table1.csv":         experiments.RenderMatrix("", res.Table1()),
+		"table2.csv":         experiments.RenderTable2(res.Table2()),
+		"table3.csv":         experiments.RenderMatrix("", res.Table3()),
+		"table4.csv":         experiments.RenderVolumeMatrix("", res.Table4()),
+		"table5.csv":         experiments.RenderTable5(t5),
+		"table5_overlap.csv": experiments.RenderTable5Overlap(t5),
+	} {
+		if err := write(name, t); err != nil {
+			return err
+		}
+	}
+
+	// Figure 1: per-PoP density.
+	pops, countryActive := res.Figure1()
+	f1 := &report.Table{Header: []string{"pop", "active_prefixes", "radius_km"}}
+	for _, e := range pops {
+		f1.AddRow(e.PoP, fmt.Sprintf("%d", e.Hits), fmt.Sprintf("%.0f", e.RadiusKm))
+	}
+	if err := write("figure1_pops.csv", f1); err != nil {
+		return err
+	}
+	f1c := &report.Table{Header: []string{"country", "active_24s"}}
+	var countries []string
+	for c := range countryActive {
+		countries = append(countries, c)
+	}
+	sort.Strings(countries)
+	for _, c := range countries {
+		f1c.AddRow(c, fmt.Sprintf("%d", countryActive[c]))
+	}
+	if err := write("figure1_countries.csv", f1c); err != nil {
+		return err
+	}
+
+	// Figure 2: hit-distance CDFs for the paper's three showcased PoPs.
+	for pop, d := range res.Figure2() {
+		if err := write("figure2_"+pop+".csv", cdfTable(d.CDF, "distance_km")); err != nil {
+			return err
+		}
+	}
+
+	// Figure 3: per-country coverage.
+	f3 := &report.Table{Header: []string{"country", "apnic_users", "covered_frac"}}
+	for _, c := range res.Figure3() {
+		f3.AddRow(c.Country, fmt.Sprintf("%.0f", c.Users), fmt.Sprintf("%.4f", c.CoveredFrac))
+	}
+	if err := write("figure3.csv", f3); err != nil {
+		return err
+	}
+
+	// Figure 4: both bound CDFs.
+	_, lower, upper := res.Figure4()
+	if err := write("figure4_lower.csv", cdfTable(lower, "active_fraction")); err != nil {
+		return err
+	}
+	if err := write("figure4_upper.csv", cdfTable(upper, "active_fraction")); err != nil {
+		return err
+	}
+
+	// Figure 5: classification.
+	f5 := &report.Table{Header: []string{"pop", "class"}}
+	classes := res.Figure5()
+	var popNames []string
+	for p := range classes {
+		popNames = append(popNames, p)
+	}
+	sort.Strings(popNames)
+	for _, p := range popNames {
+		f5.AddRow(p, string(classes[p]))
+	}
+	if err := write("figure5.csv", f5); err != nil {
+		return err
+	}
+
+	// Figures 6 and 7: relative-volume CDFs and pairwise differences.
+	for name, cdf := range res.Figure6() {
+		if err := write("figure6_"+slug(name)+".csv", cdfTable(cdf, "relative_volume")); err != nil {
+			return err
+		}
+	}
+	for name, cdf := range res.Figure7() {
+		if err := write("figure7_"+slug(name)+".csv", cdfTable(cdf, "volume_difference")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cdfTable samples a CDF into (x, cumulative_fraction) rows.
+func cdfTable(c *analysis.CDF, xName string) *report.Table {
+	t := &report.Table{Header: []string{xName, "cumulative_fraction"}}
+	for _, pt := range c.Points(200) {
+		t.AddRow(fmt.Sprintf("%g", pt[0]), fmt.Sprintf("%.5f", pt[1]))
+	}
+	return t
+}
+
+// slug makes a dataset name filesystem-safe.
+func slug(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+32)
+		case r == ' ', r == '-', r == '∪':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,154 @@
+// Command liveprobe runs the cache-probing technique against a real
+// recursive resolver: it sends non-recursive EDNS0 Client Subnet queries
+// for the given prefixes and domains and reports which ⟨prefix, domain⟩
+// pairs are cached — the paper's replicable measurement, pointed at live
+// infrastructure.
+//
+// Pointed at Google Public DNS (the default) this is §3.1.1's probe loop:
+//
+//	liveprobe -resolver 8.8.8.8:53 -prefixes prefixes.txt
+//	liveprobe -resolver 127.0.0.1:5353 -prefix 198.51.100.0/24 -udp
+//
+// It can equally probe the bundled simulator started with
+// `cachescan -serve`. Probing defaults to DNS over TCP because repeated
+// UDP queries for the same domains trip Google's low rate limit; -rate
+// bounds the probe rate (the paper used 50 prefixes/second/domain).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"clientmap/internal/clockx"
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("liveprobe: ")
+	var (
+		resolver  = flag.String("resolver", "8.8.8.8:53", "recursive resolver to snoop (host:port)")
+		prefix    = flag.String("prefix", "", "single CIDR prefix to probe")
+		prefixes  = flag.String("prefixes", "", "file with one CIDR prefix per line")
+		domainsCS = flag.String("domains", "www.google.com,www.youtube.com,facebook.com,www.wikipedia.org", "comma-separated domains to probe")
+		redundant = flag.Int("redundant", 5, "redundant probes per (prefix, domain) to cover cache pools")
+		rate      = flag.Float64("rate", 50, "probes per second per domain")
+		useUDP    = flag.Bool("udp", false, "probe over UDP instead of TCP (rate limits apply)")
+		timeout   = flag.Duration("timeout", 3*time.Second, "per-query timeout")
+		myaddr    = flag.Bool("discover", false, "first query o-o.myaddr.l.google.com to report the serving PoP")
+	)
+	flag.Parse()
+
+	targets, err := loadPrefixes(*prefix, *prefixes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(targets) == 0 {
+		log.Fatal("no prefixes: use -prefix or -prefixes")
+	}
+	domainList := strings.Split(*domainsCS, ",")
+
+	var exchange dnsnet.Exchanger
+	if *useUDP {
+		exchange = &dnsnet.UDPClient{Timeout: *timeout}
+	} else {
+		tcp := &dnsnet.TCPClient{Timeout: *timeout}
+		defer tcp.Close()
+		exchange = tcp
+	}
+	ctx := context.Background()
+	id := uint16(os.Getpid())
+
+	if *myaddr {
+		q := dnswire.NewQuery(id, "o-o.myaddr.l.google.com", dnswire.TypeTXT)
+		if resp, err := exchange.Exchange(ctx, *resolver, q); err == nil && len(resp.Answers) > 0 {
+			if txt, ok := resp.Answers[0].Data.(dnswire.TXT); ok {
+				fmt.Printf("# serving PoP: %s\n", strings.Join(txt.Strings, " "))
+			}
+		} else {
+			fmt.Printf("# PoP discovery failed: %v\n", err)
+		}
+	}
+
+	limiter := dnsnet.NewTokenBucket(clockx.Real{}, *rate, *rate)
+	active, probed := 0, 0
+	for _, target := range targets {
+		probed++
+		hit := false
+		var hitDomain string
+		var scope int
+		for _, domain := range domainList {
+			domain = strings.TrimSpace(domain)
+			for r := 0; r < *redundant && !hit; r++ {
+				limiter.Wait()
+				id++
+				q := dnswire.NewQuery(id, domain, dnswire.TypeA).WithECS(target)
+				q.RecursionDesired = false
+				resp, err := exchange.Exchange(ctx, *resolver, q)
+				if err != nil || resp == nil || len(resp.Answers) == 0 {
+					continue
+				}
+				if resp.EDNS == nil || resp.EDNS.ECS == nil || resp.EDNS.ECS.ScopePrefixLen == 0 {
+					continue // scope 0: cached for the whole space, not this prefix
+				}
+				hit = true
+				hitDomain = domain
+				scope = int(resp.EDNS.ECS.ScopePrefixLen)
+			}
+			if hit {
+				break
+			}
+		}
+		if hit {
+			active++
+			fmt.Printf("%s\tACTIVE\tdomain=%s scope=/%d\n", target, hitDomain, scope)
+		} else {
+			fmt.Printf("%s\tno-hit\n", target)
+		}
+	}
+	fmt.Printf("# %d/%d prefixes active\n", active, probed)
+}
+
+func loadPrefixes(single, file string) ([]netx.Prefix, error) {
+	var out []netx.Prefix
+	if single != "" {
+		p, err := netx.ParsePrefix(single)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			p, err := netx.ParsePrefix(text)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", file, line, err)
+			}
+			out = append(out, p)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

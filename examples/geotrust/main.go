@@ -1,0 +1,52 @@
+// Geolocation trust: the paper's second motivating use case (§1) — IP
+// geolocation databases are accurate for end-user networks and unreliable
+// for infrastructure, so "can this geolocation entry be trusted?" reduces
+// to "does this prefix host clients?". This example scores a batch of
+// prefixes the way a threat-intelligence or analytics pipeline would
+// before trusting MaxMind-style lookups.
+//
+//	go run ./examples/geotrust
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clientmap"
+)
+
+func main() {
+	eval, err := clientmap.Run(clientmap.Config{Seed: 42, Scale: clientmap.ScaleTiny})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mixed batch: eyeball space, resolver infrastructure, dark space.
+	batch := []string{
+		"1.1.0.0/24",
+		"1.4.16.0/24",
+		"1.8.3.0/24",
+		"1.11.40.0/24",
+		"9.9.9.0/24",
+		"1.13.1.0/24",
+	}
+
+	trusted, flagged := 0, 0
+	fmt.Println("prefix          verdict    rationale")
+	for _, p := range batch {
+		ok, reason, err := eval.GeoTrust(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "FLAG"
+		if ok {
+			verdict = "TRUST"
+			trusted++
+		} else {
+			flagged++
+		}
+		fmt.Printf("%-15s %-10s %s\n", p, verdict, reason)
+	}
+	fmt.Printf("\n%d entries trusted, %d flagged for manual review\n", trusted, flagged)
+	fmt.Println("(a geolocation consumer would weight or discard the flagged entries)")
+}

@@ -1,0 +1,42 @@
+// Activity ranking: the paper's §6 future work, implemented — combine the
+// two techniques into a relative activity ranking across prefixes, plus
+// the diurnal-pattern signal separating human-like from machine-like
+// space ("patterns over time" in the paper's roadmap).
+//
+//	go run ./examples/ranking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clientmap"
+)
+
+func main() {
+	eval, err := clientmap.Run(clientmap.Config{Seed: 42, Scale: clientmap.ScaleTiny})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	top := eval.ActivityRanking(12)
+	fmt.Println("most active client prefixes (relative estimate):")
+	fmt.Println("prefix             AS       country  activity   warmth  human-score")
+	for _, r := range top {
+		fmt.Printf("%-18s AS%-6d %-8s %-10.3g %-7.2f %.2f\n",
+			r.Prefix, r.ASN, r.Country, r.Activity, r.Warmth, r.HumanScore)
+	}
+
+	// Human vs machine: high human-score prefixes show day-night cache
+	// patterns; scores near 1 are warm around the clock.
+	human, flat := 0, 0
+	for _, r := range eval.ActivityRanking(0) {
+		if r.HumanScore > 1.05 {
+			human++
+		} else {
+			flat++
+		}
+	}
+	fmt.Printf("\n%d prefixes show diurnal (human-like) cache patterns, %d look flat\n", human, flat)
+	fmt.Println("(the paper's §6 proposes exactly these signals for eyeball inference)")
+}

@@ -1,0 +1,3 @@
+module clientmap
+
+go 1.22

@@ -1,0 +1,54 @@
+package anycast
+
+import "clientmap/internal/geo"
+
+// Vantage is a cloud VM location measurements can run from. The paper uses
+// AWS and Vultr VMs; each vantage discovers which PoP it reaches with a
+// TXT query for o-o.myaddr.l.google.com and then probes that PoP's caches.
+type Vantage struct {
+	Name     string
+	Provider string
+	Coord    geo.Coord
+}
+
+// CloudVantages lists the cloud regions available to the measurement
+// campaign. The set covers every cloud-reachable PoP (the paper reached 16
+// PoPs from AWS regions plus 6 more from Vultr); several regions route to
+// the same PoP, as in the paper's AWS sweep.
+func CloudVantages() []Vantage {
+	mk := func(name, provider string, lat, lon float64) Vantage {
+		return Vantage{Name: name, Provider: provider, Coord: geo.Coord{Lat: lat, Lon: lon}}
+	}
+	return []Vantage{
+		// AWS regions.
+		mk("us-west-2", "aws", 45.84, -119.70), // Boardman, OR → dls
+		mk("us-west-1", "aws", 37.35, -121.96), // San Jose → lax
+		mk("us-east-1", "aws", 38.95, -77.45),  // N. Virginia → iad
+		mk("us-east-2", "aws", 39.96, -83.00),  // Ohio → iad/atl
+		mk("ca-central-1", "aws", 45.50, -73.60),
+		mk("sa-east-1", "aws", -23.50, -46.62),
+		mk("eu-west-1", "aws", 53.34, -6.27),
+		mk("eu-west-2", "aws", 51.52, -0.11),
+		mk("eu-central-1", "aws", 50.12, 8.64),
+		mk("eu-north-1", "aws", 59.33, 18.06),
+		mk("ap-northeast-1", "aws", 35.62, 139.78),
+		mk("ap-northeast-2", "aws", 37.56, 126.98),
+		mk("ap-south-1", "aws", 19.08, 72.87),
+		mk("ap-southeast-1", "aws", 1.37, 103.80),
+		mk("ap-southeast-2", "aws", -33.86, 151.20),
+		mk("af-south-1", "aws", -33.93, 18.42),
+		// Vultr locations that add the PoPs AWS cannot see.
+		mk("vultr-seattle", "vultr", 47.61, -122.33), // → dls backup
+		mk("vultr-chicago", "vultr", 41.88, -87.63),  // → cbf
+		mk("vultr-dallas", "vultr", 32.78, -96.80),   // → tul
+		mk("vultr-miami", "vultr", 25.76, -80.19),    // → chs/atl
+		mk("vultr-atlanta", "vultr", 33.75, -84.39),  // → atl
+		mk("vultr-charleston", "vultr", 32.90, -80.00),
+		mk("vultr-toronto", "vultr", 43.70, -79.42),
+		mk("vultr-amsterdam", "vultr", 52.37, 4.90), // → grq
+		mk("vultr-zurich", "vultr", 47.37, 8.55),
+		mk("vultr-taipei", "vultr", 25.04, 121.53),
+		mk("vultr-santiago", "vultr", -33.44, -70.65),
+		mk("vultr-kansas", "vultr", 39.10, -94.58), // → cbf/tul
+	}
+}

@@ -1,0 +1,67 @@
+package clockx
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimStartsAtEpochByDefault(t *testing.T) {
+	s := NewSim(time.Time{})
+	if !s.Now().Equal(Epoch) {
+		t.Errorf("Now = %v, want %v", s.Now(), Epoch)
+	}
+}
+
+func TestSimSleepAdvances(t *testing.T) {
+	s := NewSim(time.Time{})
+	start := s.Now()
+	s.Sleep(90 * time.Minute)
+	if got := s.Now().Sub(start); got != 90*time.Minute {
+		t.Errorf("advanced %v", got)
+	}
+	// Non-positive sleeps are no-ops.
+	s.Sleep(0)
+	s.Sleep(-time.Hour)
+	if got := s.Now().Sub(start); got != 90*time.Minute {
+		t.Errorf("negative sleep moved clock: %v", got)
+	}
+}
+
+func TestSimSetRewinds(t *testing.T) {
+	s := NewSim(time.Time{})
+	s.Advance(time.Hour)
+	s.Set(Epoch)
+	if !s.Now().Equal(Epoch) {
+		t.Error("Set failed to rewind")
+	}
+}
+
+func TestSimConcurrentAccess(t *testing.T) {
+	s := NewSim(time.Time{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Advance(time.Millisecond)
+				_ = s.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := Epoch.Add(8 * 1000 * time.Millisecond)
+	if !s.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestRealClockTicks(t *testing.T) {
+	var r Real
+	a := r.Now()
+	r.Sleep(time.Millisecond)
+	if !r.Now().After(a) {
+		t.Error("real clock did not advance")
+	}
+}

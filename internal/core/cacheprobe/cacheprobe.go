@@ -1,0 +1,242 @@
+// Package cacheprobe implements the paper's first technique (§3.1):
+// detecting client activity by snooping Google Public DNS caches with
+// EDNS0 Client Subnet queries across the IPv4 space.
+//
+// A campaign runs in four stages, mirroring §3.1.1:
+//
+//  1. PoP discovery — each cloud vantage point learns which anycast PoP it
+//     reaches (o-o.myaddr.l.google.com TXT) and one vantage per PoP is
+//     kept.
+//  2. Scope pre-scan — the authoritative resolvers are scanned directly to
+//     learn the ECS response scope for the whole address space, so the
+//     cache probing needs one query per scope instead of one per /24.
+//  3. Service-radius calibration — geolocated sample prefixes are probed
+//     at every PoP; the 90th-percentile hit distance defines each PoP's
+//     service radius (Figure 2).
+//  4. Probing — each PoP is probed for the scopes MaxMind places possibly
+//     within its radius, with non-recursive TCP queries, redundant copies
+//     per cache pool, looping over the assignment for the campaign
+//     duration.
+package cacheprobe
+
+import (
+	"time"
+
+	"clientmap/internal/clockx"
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/domains"
+	"clientmap/internal/geo"
+	"clientmap/internal/netx"
+	"clientmap/internal/randx"
+)
+
+// Vantage is one cloud vantage point wired to a DNS transport.
+type Vantage struct {
+	// Name identifies the cloud region (e.g. "aws:eu-west-1").
+	Name string
+	// Coord is the VM's location.
+	Coord geo.Coord
+	// Addr is the VM's source address as servers see it.
+	Addr netx.Addr
+	// Exchanger carries DNS messages (in-memory in simulation, TCP/UDP
+	// sockets in live mode).
+	Exchanger dnsnet.Exchanger
+	// Server is the Google Public DNS endpoint name for the exchanger.
+	Server string
+}
+
+// Authoritative is the direct line to a domain's authoritative resolver
+// used by the pre-scan.
+type Authoritative struct {
+	Exchanger dnsnet.Exchanger
+	Server    string
+}
+
+// Config parameterizes a campaign. Zero fields take the paper's values.
+type Config struct {
+	Seed  randx.Seed
+	Clock clockx.Clock
+
+	// Domains are the probe domains (the paper's four Alexa picks plus
+	// the Microsoft validation domain).
+	Domains []domains.Domain
+
+	// Redundancy is the number of copies of each probe, to cover the
+	// PoP's independent cache pools. Paper: 5.
+	Redundancy int
+
+	// Duration is the campaign length. Paper: 120 hours.
+	Duration time.Duration
+
+	// Passes is how many times the assignment loops within Duration; the
+	// paper loops continuously, completing a handful of passes.
+	Passes int
+
+	// RatePerDomain is the live-mode probe rate per PoP per domain
+	// (prefixes/second). Paper: 50. Simulated clocks schedule exact
+	// probe times instead.
+	RatePerDomain float64
+
+	// CalibrationSamples is how many geolocated prefixes are probed at
+	// every PoP to fit service radii. Paper: 78,637 across public space;
+	// scaled worlds use proportionally fewer.
+	CalibrationSamples int
+
+	// CalibrationMaxErrKm filters calibration samples to prefixes whose
+	// geolocation error radius is below this bound. Paper: 200 km.
+	CalibrationMaxErrKm float64
+
+	// ServiceRadiusQuantile is the hit-distance quantile defining each
+	// PoP's service radius. Paper: 0.9.
+	ServiceRadiusQuantile float64
+
+	// GeoDB is the MaxMind-style geolocation database.
+	GeoDB *geo.DB
+
+	// Universe is the public address space to scan.
+	Universe []netx.Prefix
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clockx.Real{}
+	}
+	if c.Redundancy <= 0 {
+		c.Redundancy = 5
+	}
+	if c.Duration <= 0 {
+		c.Duration = 120 * time.Hour
+	}
+	if c.Passes <= 0 {
+		c.Passes = 6
+	}
+	if c.RatePerDomain <= 0 {
+		c.RatePerDomain = 50
+	}
+	if c.CalibrationSamples <= 0 {
+		c.CalibrationSamples = 2000
+	}
+	if c.CalibrationMaxErrKm <= 0 {
+		c.CalibrationMaxErrKm = 200
+	}
+	if c.ServiceRadiusQuantile <= 0 {
+		c.ServiceRadiusQuantile = 0.9
+	}
+	return c
+}
+
+// Hit records the evidence for one active prefix.
+type Hit struct {
+	// RespScope is the ECS scope the cache returned; the activity claim
+	// is at this granularity.
+	RespScope netx.Prefix
+	// QueryScope is the scope the probe asked about (from the pre-scan).
+	QueryScope netx.Prefix
+	// PoP is the site that answered.
+	PoP string
+	// Domain that hit.
+	Domain string
+	// Count is how many probes hit.
+	Count int
+	// PassMask has bit k set if pass k hit — the across-campaign temporal
+	// fingerprint the activity extension ranks and classifies with.
+	PassMask uint64
+	// Times are the (simulated) timestamps of the hits.
+	Times []time.Time
+}
+
+// PoPCalibration is the per-PoP result of stage 3.
+type PoPCalibration struct {
+	PoP      string
+	Vantage  string
+	RadiusKm float64
+	// HitDistancesKm are the calibration hit distances (Figure 2's CDF).
+	HitDistancesKm []float64
+	// Assigned is how many scopes stage 4 probed at this PoP.
+	Assigned int
+}
+
+// Campaign is the full result of a run.
+type Campaign struct {
+	// PoPs maps PoP name → calibration and assignment info.
+	PoPs map[string]*PoPCalibration
+	// ScopesByDomain is the pre-scan output: the query scopes covering
+	// the universe, per domain.
+	ScopesByDomain map[string][]netx.Prefix
+	// Hits maps domain → response-scope prefix → hit evidence.
+	Hits map[string]map[netx.Prefix]*Hit
+	// ScopeDiffs maps domain → |query bits - response bits| → hit count
+	// (Table 2).
+	ScopeDiffs map[string]map[int]int
+	// PoPHits counts distinct hit prefixes per PoP (Figure 1).
+	PoPHits map[string]int
+	// Passes is how many assignment loops ran, and PassTimes their start
+	// times (for temporal analysis of PassMask bits).
+	Passes    int
+	PassTimes []time.Time
+	// ProbesSent counts cache probes issued in stage 4.
+	ProbesSent int
+	// PreScanQueries counts authoritative queries issued in stage 2.
+	PreScanQueries int
+}
+
+// ActiveScopes returns the deduplicated set of response-scope prefixes
+// with hits across all domains (scope 0 excluded by construction).
+func (c *Campaign) ActiveScopes() []netx.Prefix {
+	seen := make(map[netx.Prefix]bool)
+	var out []netx.Prefix
+	for _, hits := range c.Hits {
+		for p := range hits {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Upper24s expands every hit scope into its /24s: the upper bound on
+// active /24 prefixes used in Table 1 and Figure 4 ("if a prefix contains
+// clients, assume all /24s within it do").
+func (c *Campaign) Upper24s() *netx.Set24 {
+	s := &netx.Set24{}
+	for _, p := range c.ActiveScopes() {
+		s.AddPrefix(p)
+	}
+	return s
+}
+
+// LowerBound24Count is the minimum activity consistent with the hits: one
+// active /24 per non-overlapping hit prefix (Figure 4's lower bound).
+// Hit prefixes nested inside a broader hit prefix do not add.
+func (c *Campaign) LowerBound24Count() int {
+	var t netx.Trie[bool]
+	for _, p := range c.ActiveScopes() {
+		t.Insert(p, true)
+	}
+	// Count only prefixes with no stored ancestor.
+	count := 0
+	t.Walk(func(p netx.Prefix, _ bool) bool {
+		if p.Bits() > 0 {
+			parent := netx.PrefixFrom(p.Addr(), p.Bits()-1)
+			for bits := parent.Bits(); bits >= 0; bits-- {
+				if _, ok := t.Get(netx.PrefixFrom(p.Addr(), bits)); ok {
+					return true // covered by a broader hit
+				}
+			}
+		}
+		count++
+		return true
+	})
+	return count
+}
+
+// DomainHits returns the hit prefixes for one probe domain (Table 5).
+func (c *Campaign) DomainHits(domain string) []netx.Prefix {
+	out := make([]netx.Prefix, 0, len(c.Hits[domain]))
+	for p := range c.Hits[domain] {
+		out = append(out, p)
+	}
+	return out
+}

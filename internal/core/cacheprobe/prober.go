@@ -1,0 +1,348 @@
+package cacheprobe
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"clientmap/internal/clockx"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/geo"
+	"clientmap/internal/netx"
+)
+
+// Prober executes campaigns.
+type Prober struct {
+	cfg      Config
+	vantages []Vantage
+	auth     Authoritative
+	nextID   uint16
+}
+
+// NewProber builds a prober from vantage points and the authoritative
+// access used by the pre-scan.
+func NewProber(cfg Config, vantages []Vantage, auth Authoritative) *Prober {
+	return &Prober{cfg: cfg.withDefaults(), vantages: vantages, auth: auth}
+}
+
+func (p *Prober) id() uint16 {
+	p.nextID++
+	if p.nextID == 0 {
+		p.nextID = 1
+	}
+	return p.nextID
+}
+
+// snoop sends one non-recursive ECS probe and reports (hit, response
+// scope). Timeouts and errors count as misses, as in live probing.
+func (p *Prober) snoop(ctx context.Context, v *Vantage, domain string, scope netx.Prefix) (bool, netx.Prefix) {
+	q := dnswire.NewQuery(p.id(), domain, dnswire.TypeA).WithECS(scope)
+	q.RecursionDesired = false
+	resp, err := v.Exchanger.Exchange(ctx, v.Server, q)
+	if err != nil || resp == nil || len(resp.Answers) == 0 {
+		return false, netx.Prefix{}
+	}
+	if resp.EDNS == nil || resp.EDNS.ECS == nil || resp.EDNS.ECS.ScopePrefixLen == 0 {
+		// A return scope of 0 means the entry covers the whole address
+		// space; it says nothing about this prefix (§3.1.1).
+		return false, netx.Prefix{}
+	}
+	return true, netx.PrefixFrom(scope.Addr(), int(resp.EDNS.ECS.ScopePrefixLen))
+}
+
+// DiscoverPoPs maps each vantage to the PoP its anycast route reaches and
+// keeps one vantage per PoP (stage 1).
+func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) {
+	out := make(map[string]*Vantage)
+	for i := range p.vantages {
+		v := &p.vantages[i]
+		q := dnswire.NewQuery(p.id(), "o-o.myaddr.l.google.com", dnswire.TypeTXT)
+		resp, err := v.Exchanger.Exchange(ctx, v.Server, q)
+		if err != nil || resp == nil || len(resp.Answers) == 0 {
+			continue // vantage cannot reach the service
+		}
+		txt, ok := resp.Answers[0].Data.(dnswire.TXT)
+		if !ok || len(txt.Strings) == 0 {
+			continue
+		}
+		pop := txt.Strings[0]
+		if _, exists := out[pop]; !exists {
+			out[pop] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cacheprobe: no vantage reached any PoP")
+	}
+	return out, nil
+}
+
+// PreScan queries the authoritative resolvers across the universe to learn
+// response scopes, skipping ahead by each returned scope (stage 2,
+// validated in appendix A.2). It returns per-domain sorted scope lists.
+func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
+	for _, d := range p.cfg.Domains {
+		if !d.SupportsECS {
+			continue
+		}
+		var scopes []netx.Prefix
+		for _, block := range p.cfg.Universe {
+			cur := uint32(block.FirstSlash24())
+			end := cur + uint32(block.NumSlash24s())
+			for cur < end {
+				s24 := netx.Slash24(cur)
+				q := dnswire.NewQuery(p.id(), d.Name, dnswire.TypeA).WithECS(s24.Prefix())
+				resp, err := p.auth.Exchanger.Exchange(ctx, p.auth.Server, q)
+				camp.PreScanQueries++
+				if err != nil || resp == nil || resp.EDNS == nil || resp.EDNS.ECS == nil {
+					cur++
+					continue
+				}
+				bits := int(resp.EDNS.ECS.ScopePrefixLen)
+				if bits == 0 || bits > 24 {
+					bits = 24
+				}
+				scope := netx.PrefixFrom(s24.Addr(), bits)
+				scopes = append(scopes, scope)
+				// Skip every /24 the returned scope covers.
+				cur = uint32(scope.FirstSlash24()) + uint32(scope.NumSlash24s())
+			}
+		}
+		sort.Slice(scopes, func(i, j int) bool {
+			if scopes[i].Addr() != scopes[j].Addr() {
+				return scopes[i].Addr() < scopes[j].Addr()
+			}
+			return scopes[i].Bits() < scopes[j].Bits()
+		})
+		camp.ScopesByDomain[d.Name] = scopes
+	}
+	return nil
+}
+
+// calibrationSample deterministically picks geolocated prefixes with
+// error radius under the configured bound.
+func (p *Prober) calibrationSample() []netx.Slash24 {
+	var eligible []netx.Slash24
+	p.cfg.GeoDB.Range(func(s netx.Slash24, loc geo.Location) bool {
+		if loc.ErrorKm < p.cfg.CalibrationMaxErrKm {
+			eligible = append(eligible, s)
+		}
+		return true
+	})
+	if len(eligible) <= p.cfg.CalibrationSamples {
+		return eligible
+	}
+	// Deterministic thinning.
+	keep := float64(p.cfg.CalibrationSamples) / float64(len(eligible))
+	out := eligible[:0]
+	for _, s := range eligible {
+		if p.cfg.Seed.HashUnit("cacheprobe/calib/"+s.String()) < keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Calibrate probes the sample at every PoP with the non-Microsoft probe
+// domains and fits each PoP's service radius at the configured quantile
+// (stage 3, Figure 2).
+func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *Campaign) {
+	sample := p.calibrationSample()
+	popNames := make([]string, 0, len(pops))
+	for name := range pops {
+		popNames = append(popNames, name)
+	}
+	sort.Strings(popNames)
+
+	for _, pop := range popNames {
+		v := pops[pop]
+		cal := &PoPCalibration{PoP: pop, Vantage: v.Name}
+		for _, s := range sample {
+			loc, ok := p.cfg.GeoDB.Lookup(s)
+			if !ok {
+				continue
+			}
+			hit := false
+			for _, d := range p.cfg.Domains {
+				if d.Microsoft {
+					continue // calibration uses the Alexa picks only
+				}
+				for r := 0; r < p.cfg.Redundancy && !hit; r++ {
+					hit, _ = p.snoop(ctx, v, d.Name, s.Prefix())
+					camp.ProbesSent++
+				}
+				if hit {
+					break
+				}
+			}
+			if hit {
+				cal.HitDistancesKm = append(cal.HitDistancesKm, geo.DistanceKm(v.Coord, loc.Coord))
+			}
+		}
+		sort.Float64s(cal.HitDistancesKm)
+		if len(cal.HitDistancesKm) == 0 {
+			cal.RadiusKm = MaxServiceRadiusKm
+		} else {
+			idx := int(p.cfg.ServiceRadiusQuantile * float64(len(cal.HitDistancesKm)))
+			if idx >= len(cal.HitDistancesKm) {
+				idx = len(cal.HitDistancesKm) - 1
+			}
+			cal.RadiusKm = cal.HitDistancesKm[idx]
+		}
+		// The paper treats Zurich's 5,524 km as the maximum service
+		// radius; clients served from another continent (e.g. regions
+		// with no nearby PoP) sit beyond any radius.
+		if cal.RadiusKm > MaxServiceRadiusKm {
+			cal.RadiusKm = MaxServiceRadiusKm
+		}
+		camp.PoPs[pop] = cal
+	}
+}
+
+// MaxServiceRadiusKm caps service radii when calibration yields no hits
+// (the paper's maximum observed radius, Zurich's 5,524 km).
+const MaxServiceRadiusKm = 5524.0
+
+// scopeAssigned reports whether any of the scope's /24s is possibly within
+// the PoP's service radius per the geolocation database. Large scopes are
+// sampled at up to 8 of their /24s.
+func (p *Prober) scopeAssigned(scope netx.Prefix, popCoord geo.Coord, radiusKm float64) bool {
+	n := scope.NumSlash24s()
+	stride := 1
+	if n > 8 {
+		stride = n / 8
+	}
+	first := uint32(scope.FirstSlash24())
+	for i := 0; i < n; i += stride {
+		if loc, ok := p.cfg.GeoDB.Lookup(netx.Slash24(first + uint32(i))); ok {
+			if loc.PossiblyWithin(popCoord, radiusKm) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Probe runs stage 4: every PoP probes its assigned scopes for every probe
+// domain, with redundant copies, looping Passes times across Duration.
+// PoP coordinates come from popCoords (discovered PoP name → location).
+func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords map[string]geo.Coord, camp *Campaign) {
+	popNames := make([]string, 0, len(pops))
+	for name := range pops {
+		popNames = append(popNames, name)
+	}
+	sort.Strings(popNames)
+
+	sim, isSim := p.cfg.Clock.(*clockx.Sim)
+	start := p.cfg.Clock.Now()
+	passWindow := p.cfg.Duration / time.Duration(p.cfg.Passes)
+
+	// Build per-PoP assignments once.
+	type task struct {
+		domain string
+		scope  netx.Prefix
+	}
+	assignments := make(map[string][]task)
+	for _, pop := range popNames {
+		coord, ok := popCoords[pop]
+		if !ok {
+			coord = pops[pop].Coord // fall back to the vantage location
+		}
+		radius := MaxServiceRadiusKm
+		if cal, ok := camp.PoPs[pop]; ok {
+			radius = cal.RadiusKm
+		}
+		var tasks []task
+		for _, d := range p.cfg.Domains {
+			for _, scope := range camp.ScopesByDomain[d.Name] {
+				if p.scopeAssigned(scope, coord, radius) {
+					tasks = append(tasks, task{domain: d.Name, scope: scope})
+				}
+			}
+		}
+		assignments[pop] = tasks
+		if cal, ok := camp.PoPs[pop]; ok {
+			cal.Assigned = len(tasks)
+		}
+	}
+
+	camp.Passes = p.cfg.Passes
+	for pass := 0; pass < p.cfg.Passes; pass++ {
+		passStart := start.Add(time.Duration(pass) * passWindow)
+		camp.PassTimes = append(camp.PassTimes, passStart)
+		for _, pop := range popNames {
+			v := pops[pop]
+			tasks := assignments[pop]
+			for i, tk := range tasks {
+				if isSim {
+					// Schedule probes evenly across the pass window, as
+					// the live rate limiter would.
+					offset := time.Duration(float64(passWindow) * float64(i) / float64(len(tasks)+1))
+					sim.Set(passStart.Add(offset))
+				}
+				for r := 0; r < p.cfg.Redundancy; r++ {
+					hit, respScope := p.snoop(ctx, v, tk.domain, tk.scope)
+					camp.ProbesSent++
+					if !hit {
+						continue
+					}
+					p.recordHit(camp, pass, pop, tk.domain, tk.scope, respScope)
+					break
+				}
+			}
+		}
+	}
+}
+
+func (p *Prober) recordHit(camp *Campaign, pass int, pop, domain string, queryScope, respScope netx.Prefix) {
+	hits := camp.Hits[domain]
+	if hits == nil {
+		hits = make(map[netx.Prefix]*Hit)
+		camp.Hits[domain] = hits
+	}
+	h, ok := hits[respScope]
+	if !ok {
+		h = &Hit{RespScope: respScope, QueryScope: queryScope, PoP: pop, Domain: domain}
+		hits[respScope] = h
+		camp.PoPHits[pop]++
+	}
+	h.Count++
+	if pass >= 0 && pass < 64 {
+		h.PassMask |= 1 << uint(pass)
+	}
+	h.Times = append(h.Times, p.cfg.Clock.Now())
+
+	diff := respScope.Bits() - queryScope.Bits()
+	if diff < 0 {
+		diff = -diff
+	}
+	dd := camp.ScopeDiffs[domain]
+	if dd == nil {
+		dd = make(map[int]int)
+		camp.ScopeDiffs[domain] = dd
+	}
+	dd[diff]++
+}
+
+// Run executes all four stages and returns the campaign results.
+// popCoords supplies PoP locations for assignment (from the public PoP
+// catalog, as the paper does).
+func (p *Prober) Run(ctx context.Context, popCoords map[string]geo.Coord) (*Campaign, error) {
+	camp := &Campaign{
+		PoPs:           make(map[string]*PoPCalibration),
+		ScopesByDomain: make(map[string][]netx.Prefix),
+		Hits:           make(map[string]map[netx.Prefix]*Hit),
+		ScopeDiffs:     make(map[string]map[int]int),
+		PoPHits:        make(map[string]int),
+	}
+	pops, err := p.DiscoverPoPs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.PreScan(ctx, camp); err != nil {
+		return nil, err
+	}
+	p.Calibrate(ctx, pops, camp)
+	p.Probe(ctx, pops, popCoords, camp)
+	return camp, nil
+}

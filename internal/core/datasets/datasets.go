@@ -1,0 +1,210 @@
+// Package datasets defines the dataset abstractions the paper's validation
+// section (§4) compares: sets of /24 prefixes and sets of ASes, each with
+// optional activity volumes. All five sources — cache probing, DNS logs,
+// APNIC, Microsoft clients and Microsoft resolvers — reduce to these two
+// shapes, and the overlap tables are computed on them.
+package datasets
+
+import (
+	"sort"
+
+	"clientmap/internal/netx"
+	"clientmap/internal/routeviews"
+)
+
+// PrefixDataset is a named set of /24 prefixes with optional volume.
+type PrefixDataset struct {
+	Name string
+	Set  *netx.Set24
+	// Volume maps members to an activity measure (queries, requests);
+	// nil when the dataset is presence-only.
+	Volume map[netx.Slash24]float64
+}
+
+// NewPrefixDataset returns an empty dataset.
+func NewPrefixDataset(name string) *PrefixDataset {
+	return &PrefixDataset{Name: name, Set: &netx.Set24{}}
+}
+
+// Add inserts p with the given volume (accumulating).
+func (d *PrefixDataset) Add(p netx.Slash24, volume float64) {
+	d.Set.Add(p)
+	if volume != 0 {
+		if d.Volume == nil {
+			d.Volume = make(map[netx.Slash24]float64)
+		}
+		d.Volume[p] += volume
+	}
+}
+
+// Len returns the member count.
+func (d *PrefixDataset) Len() int { return d.Set.Len() }
+
+// TotalVolume sums the dataset's volume.
+func (d *PrefixDataset) TotalVolume() float64 {
+	var t float64
+	for _, v := range d.Volume {
+		t += v
+	}
+	return t
+}
+
+// VolumeIn sums this dataset's volume over members of other — "what
+// fraction of OUR volume is in prefixes THEY also saw".
+func (d *PrefixDataset) VolumeIn(other *PrefixDataset) float64 {
+	var t float64
+	for p, v := range d.Volume {
+		if other.Set.Contains(p) {
+			t += v
+		}
+	}
+	return t
+}
+
+// Union returns the presence union of d and other (volumes are summed).
+func (d *PrefixDataset) Union(name string, other *PrefixDataset) *PrefixDataset {
+	out := &PrefixDataset{Name: name, Set: d.Set.Union(other.Set)}
+	if d.Volume != nil || other.Volume != nil {
+		out.Volume = make(map[netx.Slash24]float64, len(d.Volume)+len(other.Volume))
+		for p, v := range d.Volume {
+			out.Volume[p] += v
+		}
+		for p, v := range other.Volume {
+			out.Volume[p] += v
+		}
+	}
+	return out
+}
+
+// ToAS aggregates the dataset to AS granularity via the prefix2as table;
+// prefixes without an origin AS are dropped (and counted).
+func (d *PrefixDataset) ToAS(name string, tbl *routeviews.Table) (*ASDataset, int) {
+	out := NewASDataset(name)
+	unmapped := 0
+	d.Set.Range(func(p netx.Slash24) bool {
+		asn, ok := tbl.ASNOf(p.Addr())
+		if !ok {
+			unmapped++
+			return true
+		}
+		v := 1.0
+		if d.Volume != nil {
+			if vol, ok := d.Volume[p]; ok {
+				v = vol
+			}
+		}
+		out.Add(asn, v)
+		return true
+	})
+	return out, unmapped
+}
+
+// ASDataset is a named set of ASNs with activity volume (1 per member when
+// the source has no volume measure).
+type ASDataset struct {
+	Name    string
+	Volumes map[uint32]float64
+}
+
+// NewASDataset returns an empty dataset.
+func NewASDataset(name string) *ASDataset {
+	return &ASDataset{Name: name, Volumes: make(map[uint32]float64)}
+}
+
+// Add accumulates volume for asn.
+func (d *ASDataset) Add(asn uint32, volume float64) {
+	d.Volumes[asn] += volume
+}
+
+// Has reports membership.
+func (d *ASDataset) Has(asn uint32) bool {
+	_, ok := d.Volumes[asn]
+	return ok
+}
+
+// Len returns the member count.
+func (d *ASDataset) Len() int { return len(d.Volumes) }
+
+// ASNs returns members in ascending order.
+func (d *ASDataset) ASNs() []uint32 {
+	out := make([]uint32, 0, len(d.Volumes))
+	for asn := range d.Volumes {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalVolume sums the dataset's volume.
+func (d *ASDataset) TotalVolume() float64 {
+	var t float64
+	for _, v := range d.Volumes {
+		t += v
+	}
+	return t
+}
+
+// IntersectCount returns |d ∩ other|.
+func (d *ASDataset) IntersectCount(other *ASDataset) int {
+	small, large := d, other
+	if len(small.Volumes) > len(large.Volumes) {
+		small, large = large, small
+	}
+	n := 0
+	for asn := range small.Volumes {
+		if large.Has(asn) {
+			n++
+		}
+	}
+	return n
+}
+
+// VolumeIn sums this dataset's volume over ASes that other also contains
+// (Table 4's cell definition).
+func (d *ASDataset) VolumeIn(other *ASDataset) float64 {
+	var t float64
+	for asn, v := range d.Volumes {
+		if other.Has(asn) {
+			t += v
+		}
+	}
+	return t
+}
+
+// Union returns the union with volumes summed.
+func (d *ASDataset) Union(name string, other *ASDataset) *ASDataset {
+	out := NewASDataset(name)
+	for asn, v := range d.Volumes {
+		out.Add(asn, v)
+	}
+	for asn, v := range other.Volumes {
+		out.Add(asn, v)
+	}
+	return out
+}
+
+// Diff returns the members of d absent from other.
+func (d *ASDataset) Diff(other *ASDataset) []uint32 {
+	var out []uint32
+	for asn := range d.Volumes {
+		if !other.Has(asn) {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RelativeVolumes returns each member's share of total volume — the
+// quantity Figures 6 and 7 compare across methods.
+func (d *ASDataset) RelativeVolumes() map[uint32]float64 {
+	total := d.TotalVolume()
+	out := make(map[uint32]float64, len(d.Volumes))
+	if total <= 0 {
+		return out
+	}
+	for asn, v := range d.Volumes {
+		out[asn] = v / total
+	}
+	return out
+}

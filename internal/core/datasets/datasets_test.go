@@ -1,0 +1,140 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"clientmap/internal/netx"
+	"clientmap/internal/routeviews"
+)
+
+func p24(s string) netx.Slash24 { return netx.MustParsePrefix(s).FirstSlash24() }
+
+func TestPrefixDatasetBasics(t *testing.T) {
+	d := NewPrefixDataset("test")
+	d.Add(p24("10.0.0.0/24"), 5)
+	d.Add(p24("10.0.1.0/24"), 3)
+	d.Add(p24("10.0.0.0/24"), 2) // accumulate
+
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if d.TotalVolume() != 10 {
+		t.Errorf("TotalVolume = %v", d.TotalVolume())
+	}
+}
+
+func TestPrefixVolumeIn(t *testing.T) {
+	a := NewPrefixDataset("a")
+	a.Add(p24("10.0.0.0/24"), 7)
+	a.Add(p24("10.0.1.0/24"), 3)
+	b := NewPrefixDataset("b")
+	b.Add(p24("10.0.0.0/24"), 1)
+
+	if got := a.VolumeIn(b); got != 7 {
+		t.Errorf("VolumeIn = %v, want 7", got)
+	}
+	if got := b.VolumeIn(a); got != 1 {
+		t.Errorf("reverse VolumeIn = %v, want 1", got)
+	}
+}
+
+func TestPrefixUnion(t *testing.T) {
+	a := NewPrefixDataset("a")
+	a.Add(p24("10.0.0.0/24"), 2)
+	b := NewPrefixDataset("b")
+	b.Add(p24("10.0.0.0/24"), 3)
+	b.Add(p24("10.0.1.0/24"), 4)
+
+	u := a.Union("u", b)
+	if u.Len() != 2 || u.TotalVolume() != 9 {
+		t.Errorf("union: len=%d vol=%v", u.Len(), u.TotalVolume())
+	}
+}
+
+func TestToAS(t *testing.T) {
+	tbl := routeviews.New()
+	tbl.Add(netx.MustParsePrefix("10.0.0.0/16"), 100)
+	tbl.Add(netx.MustParsePrefix("10.1.0.0/16"), 200)
+
+	d := NewPrefixDataset("d")
+	d.Add(p24("10.0.0.0/24"), 5)
+	d.Add(p24("10.0.9.0/24"), 5)
+	d.Add(p24("10.1.0.0/24"), 2)
+	d.Add(p24("192.168.0.0/24"), 1) // unannounced
+
+	asd, unmapped := d.ToAS("asd", tbl)
+	if unmapped != 1 {
+		t.Errorf("unmapped = %d", unmapped)
+	}
+	if asd.Len() != 2 {
+		t.Errorf("AS count = %d", asd.Len())
+	}
+	if asd.Volumes[100] != 10 || asd.Volumes[200] != 2 {
+		t.Errorf("volumes = %v", asd.Volumes)
+	}
+}
+
+func TestToASPresenceOnly(t *testing.T) {
+	tbl := routeviews.New()
+	tbl.Add(netx.MustParsePrefix("10.0.0.0/16"), 100)
+	d := NewPrefixDataset("d")
+	d.Set.Add(p24("10.0.0.0/24"))
+	d.Set.Add(p24("10.0.1.0/24"))
+	asd, _ := d.ToAS("asd", tbl)
+	if asd.Volumes[100] != 2 {
+		t.Errorf("presence-only volume = %v, want 2 (1 per prefix)", asd.Volumes[100])
+	}
+}
+
+func TestASDatasetOps(t *testing.T) {
+	a := NewASDataset("a")
+	a.Add(1, 10)
+	a.Add(2, 30)
+	a.Add(3, 60)
+	b := NewASDataset("b")
+	b.Add(2, 5)
+	b.Add(4, 5)
+
+	if a.IntersectCount(b) != 1 || b.IntersectCount(a) != 1 {
+		t.Error("IntersectCount wrong")
+	}
+	if got := a.VolumeIn(b); got != 30 {
+		t.Errorf("VolumeIn = %v", got)
+	}
+	u := a.Union("u", b)
+	if u.Len() != 4 || u.TotalVolume() != 110 {
+		t.Errorf("union: %d members, %v volume", u.Len(), u.TotalVolume())
+	}
+	diff := a.Diff(b)
+	if len(diff) != 2 || diff[0] != 1 || diff[1] != 3 {
+		t.Errorf("diff = %v", diff)
+	}
+}
+
+func TestRelativeVolumes(t *testing.T) {
+	d := NewASDataset("d")
+	d.Add(1, 25)
+	d.Add(2, 75)
+	rel := d.RelativeVolumes()
+	if math.Abs(rel[1]-0.25) > 1e-12 || math.Abs(rel[2]-0.75) > 1e-12 {
+		t.Errorf("relative volumes = %v", rel)
+	}
+	empty := NewASDataset("e")
+	if len(empty.RelativeVolumes()) != 0 {
+		t.Error("empty dataset produced relative volumes")
+	}
+}
+
+func TestASNsSorted(t *testing.T) {
+	d := NewASDataset("d")
+	for _, asn := range []uint32{5, 1, 9, 3} {
+		d.Add(asn, 1)
+	}
+	asns := d.ASNs()
+	for i := 1; i < len(asns); i++ {
+		if asns[i-1] >= asns[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package dnsnet
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"clientmap/internal/dnswire"
+)
+
+// UDPClient exchanges DNS messages over UDP with a per-query socket, the
+// way stub resolvers do. The zero value uses a 5-second timeout.
+type UDPClient struct {
+	// Timeout bounds each exchange; zero means 5 seconds.
+	Timeout time.Duration
+}
+
+func (c *UDPClient) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+// Exchange implements Exchanger. server is "host:port".
+func (c *UDPClient) Exchange(ctx context.Context, server string, query *dnswire.Message) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: c.timeout()}
+	conn, err := d.DialContext(ctx, "udp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+
+	wire, err := query.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		resp, err := dnswire.Unmarshal(buf[:n])
+		if err != nil {
+			continue // tolerate stray datagrams
+		}
+		if resp.ID != query.ID {
+			continue // stale response to an earlier query
+		}
+		return resp, nil
+	}
+}
+
+// TCPClient exchanges DNS messages over TCP, reusing one connection per
+// server — the transport the cache prober uses against Google Public DNS,
+// since repeated UDP queries for the same domains trip a much lower rate
+// limit than the normal 1,500 QPS (§3.1.1).
+type TCPClient struct {
+	// Timeout bounds dialing and each exchange; zero means 5 seconds.
+	Timeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+func (c *TCPClient) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (c *TCPClient) conn(ctx context.Context, server string) (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conns == nil {
+		c.conns = make(map[string]net.Conn)
+	}
+	if conn, ok := c.conns[server]; ok {
+		return conn, nil
+	}
+	d := net.Dialer{Timeout: c.timeout()}
+	conn, err := d.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[server] = conn
+	return conn, nil
+}
+
+func (c *TCPClient) drop(server string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[server]; ok {
+		conn.Close()
+		delete(c.conns, server)
+	}
+}
+
+// Exchange implements Exchanger. On an I/O error the cached connection is
+// dropped and the exchange retried once on a fresh connection.
+func (c *TCPClient) Exchange(ctx context.Context, server string, query *dnswire.Message) (*dnswire.Message, error) {
+	resp, err := c.exchangeOnce(ctx, server, query)
+	if err != nil && ctx.Err() == nil {
+		c.drop(server)
+		resp, err = c.exchangeOnce(ctx, server, query)
+	}
+	return resp, err
+}
+
+func (c *TCPClient) exchangeOnce(ctx context.Context, server string, query *dnswire.Message) (*dnswire.Message, error) {
+	conn, err := c.conn(ctx, server)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+
+	if err := dnswire.WriteTCP(conn, query); err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.ReadTCP(conn)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, ErrTimeout
+		}
+		return nil, err
+	}
+	if resp.ID != query.ID {
+		return nil, ErrIDMismatch
+	}
+	return resp, nil
+}
+
+// Close closes all pooled connections.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, conn := range c.conns {
+		conn.Close()
+		delete(c.conns, k)
+	}
+}

@@ -1,0 +1,95 @@
+package dnsnet
+
+import (
+	"context"
+	"sync"
+
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+)
+
+// MemNet is the in-memory transport: a registry of named handlers that
+// exchanges messages by direct call. It deliberately round-trips every
+// message through the wire codec so that simulation and socket transports
+// exercise identical encode/decode paths — a malformed message fails the
+// same way on both.
+type MemNet struct {
+	mu      sync.RWMutex
+	servers map[string]Handler
+	codec   bool
+}
+
+// NewMemNet returns an empty in-memory network. If wireCodec is true,
+// messages are marshaled and unmarshaled on each hop (slower, maximally
+// faithful); if false they are passed by deep-enough copy (fast path used
+// by full-scale campaigns).
+func NewMemNet(wireCodec bool) *MemNet {
+	return &MemNet{servers: make(map[string]Handler), codec: wireCodec}
+}
+
+// Register mounts h at name, replacing any previous handler.
+func (n *MemNet) Register(name string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[name] = h
+}
+
+// Deregister removes the handler at name.
+func (n *MemNet) Deregister(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.servers, name)
+}
+
+// Client returns an Exchanger whose queries appear to come from src.
+func (n *MemNet) Client(src netx.Addr) Exchanger {
+	return &memClient{net: n, src: src}
+}
+
+type memClient struct {
+	net *MemNet
+	src netx.Addr
+}
+
+// Exchange implements Exchanger.
+func (c *memClient) Exchange(ctx context.Context, server string, query *dnswire.Message) (*dnswire.Message, error) {
+	c.net.mu.RLock()
+	h, ok := c.net.servers[server]
+	c.net.mu.RUnlock()
+	if !ok {
+		return nil, ErrNoSuchServer
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	q := query
+	if c.net.codec {
+		wire, err := query.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		q, err = dnswire.Unmarshal(wire)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp := h.ServeDNS(ctx, c.src, q)
+	if resp == nil {
+		return nil, ErrTimeout
+	}
+	if c.net.codec {
+		wire, err := resp.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		resp, err = dnswire.Unmarshal(wire)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if resp.ID != query.ID {
+		return nil, ErrIDMismatch
+	}
+	return resp, nil
+}

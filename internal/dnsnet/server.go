@@ -1,0 +1,173 @@
+package dnsnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+)
+
+// Server serves a Handler over real UDP and TCP sockets. It exists so the
+// simulated DNS services (authoritative zones, the Google Public DNS model)
+// can also be exposed on loopback or a LAN and probed by the real client
+// tools — the integration tests and cmd/cachescan use exactly this path.
+//
+// A zero Server is not usable; construct with NewServer.
+type Server struct {
+	handler Handler
+
+	mu     sync.Mutex
+	pconns []net.PacketConn
+	lns    []net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server dispatching to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler}
+}
+
+// srcAddr extracts the IPv4 source address from a net.Addr, returning zero
+// for non-IPv4 peers (IPv6 loopback still yields a usable zero source).
+func srcAddr(a net.Addr) netx.Addr {
+	var ip net.IP
+	switch v := a.(type) {
+	case *net.UDPAddr:
+		ip = v.IP
+	case *net.TCPAddr:
+		ip = v.IP
+	}
+	ip4 := ip.To4()
+	if ip4 == nil {
+		return 0
+	}
+	return netx.AddrFrom4(ip4[0], ip4[1], ip4[2], ip4[3])
+}
+
+// ListenUDP starts serving UDP datagrams on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) ListenUDP(addr string) (net.Addr, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		pc.Close()
+		return nil, ErrServerClosed
+	}
+	s.pconns = append(s.pconns, pc)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.serveUDP(pc)
+	return pc.LocalAddr(), nil
+}
+
+func (s *Server) serveUDP(pc net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		// Unmarshal copies everything it keeps, so buf can be reused for
+		// the next datagram while the handler runs.
+		query, err := dnswire.Unmarshal(buf[:n])
+		if err != nil {
+			continue // malformed datagrams are dropped, like real servers
+		}
+		s.wg.Add(1)
+		go func(query *dnswire.Message, raddr net.Addr) {
+			defer s.wg.Done()
+			resp := s.handler.ServeDNS(context.Background(), srcAddr(raddr), query)
+			if resp == nil {
+				return
+			}
+			wire, err := resp.Marshal()
+			if err != nil {
+				return
+			}
+			_, _ = pc.WriteTo(wire, raddr)
+		}(query, raddr)
+	}
+}
+
+// ListenTCP starts serving length-framed TCP connections on addr and
+// returns the bound address.
+func (s *Server) ListenTCP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrServerClosed
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.serveTCP(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) serveTCP(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			src := srcAddr(conn.RemoteAddr())
+			for {
+				_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+				query, err := dnswire.ReadTCP(conn)
+				if err != nil {
+					return
+				}
+				resp := s.handler.ServeDNS(context.Background(), src, query)
+				if resp == nil {
+					return // drop the connection, as rate-limited servers do
+				}
+				if err := dnswire.WriteTCP(conn, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Close shuts down all listeners and waits for in-flight handlers on both
+// transports to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var errs []error
+	for _, pc := range s.pconns {
+		errs = append(errs, pc.Close())
+	}
+	for _, ln := range s.lns {
+		errs = append(errs, ln.Close())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return errors.Join(errs...)
+}

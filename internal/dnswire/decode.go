@@ -1,0 +1,349 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"clientmap/internal/netx"
+)
+
+// Unmarshal decode errors.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrBadPointer       = errors.New("dnswire: bad compression pointer")
+)
+
+type parser struct {
+	data []byte
+	off  int
+}
+
+func (p *parser) remaining() int { return len(p.data) - p.off }
+
+func (p *parser) u8() (uint8, error) {
+	if p.remaining() < 1 {
+		return 0, ErrTruncatedMessage
+	}
+	v := p.data[p.off]
+	p.off++
+	return v, nil
+}
+
+func (p *parser) u16() (uint16, error) {
+	if p.remaining() < 2 {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint16(p.data[p.off:])
+	p.off += 2
+	return v, nil
+}
+
+func (p *parser) u32() (uint32, error) {
+	if p.remaining() < 4 {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint32(p.data[p.off:])
+	p.off += 4
+	return v, nil
+}
+
+func (p *parser) bytes(n int) ([]byte, error) {
+	if n < 0 || p.remaining() < n {
+		return nil, ErrTruncatedMessage
+	}
+	b := p.data[p.off : p.off+n]
+	p.off += n
+	return b, nil
+}
+
+// name decodes a possibly compressed domain name starting at the current
+// offset.
+func (p *parser) name() (string, error) {
+	var sb strings.Builder
+	off := p.off
+	jumped := false
+	jumps := 0
+	for {
+		if off >= len(p.data) {
+			return "", ErrTruncatedMessage
+		}
+		c := p.data[off]
+		switch {
+		case c == 0:
+			if !jumped {
+				p.off = off + 1
+			}
+			return sb.String(), nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(p.data) {
+				return "", ErrTruncatedMessage
+			}
+			target := int(binary.BigEndian.Uint16(p.data[off:]) & 0x3FFF)
+			if !jumped {
+				p.off = off + 2
+			}
+			if target >= off {
+				return "", fmt.Errorf("%w: forward pointer", ErrBadPointer)
+			}
+			jumps++
+			if jumps > 32 {
+				return "", fmt.Errorf("%w: too many jumps", ErrBadPointer)
+			}
+			off = target
+			jumped = true
+		case c&0xC0 != 0:
+			return "", fmt.Errorf("dnswire: reserved label type %#x", c&0xC0)
+		default:
+			n := int(c)
+			if off+1+n > len(p.data) {
+				return "", ErrTruncatedMessage
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(p.data[off+1 : off+1+n])
+			off += 1 + n
+			if sb.Len() > 255 {
+				return "", fmt.Errorf("dnswire: decoded name too long")
+			}
+		}
+	}
+}
+
+func (p *parser) question() (Question, error) {
+	name, err := p.name()
+	if err != nil {
+		return Question{}, err
+	}
+	t, err := p.u16()
+	if err != nil {
+		return Question{}, err
+	}
+	c, err := p.u16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: CanonicalName(name), Type: Type(t), Class: Class(c)}, nil
+}
+
+// rr decodes one resource record. OPT records are returned with opt=true
+// and parsed into the message's EDNS state by the caller.
+func (p *parser) rr() (rr RR, edns *EDNS, err error) {
+	name, err := p.name()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	t, err := p.u16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	class, err := p.u16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	ttlAndFlags, err := p.u32()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	rdlen, err := p.u16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	if Type(t) == TypeOPT {
+		rdata, err := p.bytes(int(rdlen))
+		if err != nil {
+			return RR{}, nil, err
+		}
+		e := &EDNS{UDPSize: class}
+		if err := parseEDNSOptions(rdata, e); err != nil {
+			return RR{}, nil, err
+		}
+		return RR{}, e, nil
+	}
+
+	rr = RR{Name: CanonicalName(name), Class: Class(class), TTL: ttlAndFlags}
+	end := p.off + int(rdlen)
+	if end > len(p.data) {
+		return RR{}, nil, ErrTruncatedMessage
+	}
+	switch Type(t) {
+	case TypeA:
+		if rdlen != 4 {
+			return RR{}, nil, fmt.Errorf("dnswire: A record with %d-byte rdata", rdlen)
+		}
+		v, _ := p.u32()
+		rr.Data = A{Addr: netx.Addr(v)}
+	case TypeTXT:
+		var txt TXT
+		for p.off < end {
+			n, err := p.u8()
+			if err != nil {
+				return RR{}, nil, err
+			}
+			s, err := p.bytes(int(n))
+			if err != nil {
+				return RR{}, nil, err
+			}
+			txt.Strings = append(txt.Strings, string(s))
+		}
+		rr.Data = txt
+	case TypeCNAME:
+		target, err := p.name()
+		if err != nil {
+			return RR{}, nil, err
+		}
+		rr.Data = CNAME{Target: CanonicalName(target)}
+	case TypeNS:
+		host, err := p.name()
+		if err != nil {
+			return RR{}, nil, err
+		}
+		rr.Data = NS{Host: CanonicalName(host)}
+	case TypeSOA:
+		var soa SOA
+		if soa.MName, err = p.name(); err != nil {
+			return RR{}, nil, err
+		}
+		if soa.RName, err = p.name(); err != nil {
+			return RR{}, nil, err
+		}
+		if soa.Serial, err = p.u32(); err != nil {
+			return RR{}, nil, err
+		}
+		if soa.Refresh, err = p.u32(); err != nil {
+			return RR{}, nil, err
+		}
+		if soa.Retry, err = p.u32(); err != nil {
+			return RR{}, nil, err
+		}
+		if soa.Expire, err = p.u32(); err != nil {
+			return RR{}, nil, err
+		}
+		if soa.Minimum, err = p.u32(); err != nil {
+			return RR{}, nil, err
+		}
+		rr.Data = soa
+	default:
+		raw, err := p.bytes(int(rdlen))
+		if err != nil {
+			return RR{}, nil, err
+		}
+		rr.Data = Raw{RRType: Type(t), Data: append([]byte(nil), raw...)}
+	}
+	if p.off != end {
+		return RR{}, nil, fmt.Errorf("dnswire: rdata length mismatch for %s", Type(t))
+	}
+	return rr, nil, nil
+}
+
+// parseEDNSOptions decodes the RDATA of an OPT record.
+func parseEDNSOptions(rdata []byte, e *EDNS) error {
+	for len(rdata) > 0 {
+		if len(rdata) < 4 {
+			return ErrTruncatedMessage
+		}
+		code := binary.BigEndian.Uint16(rdata)
+		olen := int(binary.BigEndian.Uint16(rdata[2:]))
+		rdata = rdata[4:]
+		if len(rdata) < olen {
+			return ErrTruncatedMessage
+		}
+		opt := rdata[:olen]
+		rdata = rdata[olen:]
+		if code != 8 { // only edns-client-subnet is interpreted
+			continue
+		}
+		if olen < 4 {
+			return fmt.Errorf("dnswire: short ECS option (%d bytes)", olen)
+		}
+		family := binary.BigEndian.Uint16(opt)
+		if family != 1 {
+			// IPv6 or unknown family: ignored, per the module's IPv4 scope.
+			continue
+		}
+		ecs := &ECS{
+			SourcePrefixLen: opt[2],
+			ScopePrefixLen:  opt[3],
+		}
+		if ecs.SourcePrefixLen > 32 || ecs.ScopePrefixLen > 32 {
+			return fmt.Errorf("dnswire: ECS prefix length out of range")
+		}
+		addrBytes := opt[4:]
+		want := int(ecs.SourcePrefixLen+7) / 8
+		if len(addrBytes) < want {
+			return fmt.Errorf("dnswire: ECS address shorter than source prefix")
+		}
+		var a uint32
+		for i := 0; i < want && i < 4; i++ {
+			a |= uint32(addrBytes[i]) << (24 - 8*i)
+		}
+		ecs.Addr = netx.PrefixFrom(netx.Addr(a), int(ecs.SourcePrefixLen)).Addr()
+		e.ECS = ecs
+	}
+	return nil
+}
+
+// Unmarshal decodes a wire-format DNS message.
+func Unmarshal(data []byte) (*Message, error) {
+	p := &parser{data: data}
+	id, err := p.u16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := p.u16()
+	if err != nil {
+		return nil, err
+	}
+	qd, err := p.u16()
+	if err != nil {
+		return nil, err
+	}
+	an, err := p.u16()
+	if err != nil {
+		return nil, err
+	}
+	ns, err := p.u16()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := p.u16()
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Message{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		Opcode:             uint8(flags >> 11 & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	for i := 0; i < int(qd); i++ {
+		q, err := p.question()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	counts := []int{int(an), int(ns), int(ar)}
+	for si, count := range counts {
+		for i := 0; i < count; i++ {
+			rr, edns, err := p.rr()
+			if err != nil {
+				return nil, err
+			}
+			if edns != nil {
+				m.EDNS = edns
+				continue
+			}
+			*sections[si] = append(*sections[si], rr)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,46 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+
+	"clientmap/internal/netx"
+)
+
+// FuzzUnmarshal exercises the wire decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode and re-decode to an
+// equivalent message (decode/encode/decode stability).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: real messages.
+	q := NewQuery(7, "www.google.com", TypeA).WithECS(netx.MustParsePrefix("192.0.2.0/24"))
+	wire, _ := q.Marshal()
+	f.Add(wire)
+	r := q.Reply()
+	r.Answers = []RR{{Name: "www.google.com", Class: ClassINET, TTL: 60, Data: A{Addr: 1}}}
+	wire, _ = r.Marshal()
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xC0, 0x0C}, 8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := m.Marshal()
+		if err != nil {
+			// Messages can decode but carry unencodable names (e.g. empty
+			// labels survive decompression limits); that is acceptable.
+			return
+		}
+		m2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(m2.Questions) != len(m.Questions) ||
+			len(m2.Answers) != len(m.Answers) ||
+			m2.ID != m.ID || m2.RCode != m.RCode {
+			t.Fatalf("decode/encode/decode drift:\n %+v\n %+v", m, m2)
+		}
+	})
+}

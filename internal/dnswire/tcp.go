@@ -1,0 +1,45 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DNS over TCP prefixes each message with a two-byte big-endian length
+// (RFC 1035 §4.2.2). The cache-probing client uses TCP because probing the
+// same domains repeatedly over UDP trips Google Public DNS's low
+// repeated-query rate limit (§3.1.1).
+
+// maxTCPMessage is the largest frameable DNS message.
+const maxTCPMessage = 0xFFFF
+
+// WriteTCP marshals m and writes it to w with TCP length framing.
+func WriteTCP(w io.Writer, m *Message) error {
+	wire, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	if len(wire) > maxTCPMessage {
+		return fmt.Errorf("dnswire: message too large for TCP framing (%d bytes)", len(wire))
+	}
+	frame := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(frame, uint16(len(wire)))
+	copy(frame[2:], wire)
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadTCP reads one length-framed DNS message from r and decodes it.
+func ReadTCP(r io.Reader) (*Message, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}

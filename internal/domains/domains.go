@@ -1,0 +1,142 @@
+// Package domains models the ranked popular-domain catalog the probing
+// methodology selects from (the paper uses the Alexa top global sites
+// list), with the two attributes the selection rule needs: whether the
+// domain's authoritative DNS supports ECS, and the record TTL.
+//
+// It also carries each domain's popularity weight (driving the synthetic
+// query workload) and its authoritative response-scope policy (driving the
+// scope pre-scan and Table 2's scope-stability validation: Wikipedia
+// answers with coarse /16-/18 scopes while the others answer /20-/24).
+package domains
+
+import (
+	"sort"
+	"time"
+)
+
+// ScopePolicy describes how a domain's authoritative resolver assigns ECS
+// response scopes.
+type ScopePolicy struct {
+	// MinBits and MaxBits bound the response scope prefix length.
+	MinBits, MaxBits int
+	// FlipProb is the per-query probability that the authoritative answers
+	// with a different scope within the band than it usually does for that
+	// prefix (scope instability, bounded by Table 2's observation that 90%
+	// of scopes match exactly).
+	FlipProb float64
+}
+
+// Domain is one catalog entry.
+type Domain struct {
+	// Name is the queried FQDN (without trailing dot).
+	Name string
+	// Rank is the Alexa-style global popularity rank (1 = most popular).
+	Rank int
+	// SupportsECS reports whether the authoritative honors client-subnet.
+	SupportsECS bool
+	// TTL is the A-record TTL.
+	TTL time.Duration
+	// QueryWeight is the domain's share of client DNS queries (relative;
+	// normalized by consumers).
+	QueryWeight float64
+	// Scope is the authoritative's response-scope policy (meaningful only
+	// when SupportsECS).
+	Scope ScopePolicy
+	// AffinityVar scales how unevenly networks consume this domain:
+	// generic CDN content is consumed everywhere (low variance) while
+	// social/encyclopedic sites have sharply regional user bases (high).
+	// Zero means 1.
+	AffinityVar float64
+	// Microsoft marks the Microsoft CDN validation domain whose
+	// authoritative traces form the cloud ECS prefixes dataset.
+	Microsoft bool
+}
+
+// Catalog returns the ranked domain list. The top of the list mirrors the
+// paper's §3.1.1 selection as of 2021-09-22: google (1), youtube (2),
+// netflix/amazon-style non-ECS entries in between, facebook (7, ECS only
+// without "www"), wikipedia (13, coarse scopes), plus a popular Microsoft
+// Azure Traffic Manager domain with a 5-minute TTL used for validation.
+func Catalog() []Domain {
+	return []Domain{
+		{Name: "www.google.com", Rank: 1, SupportsECS: true, TTL: 5 * time.Minute,
+			QueryWeight: 10.0, Scope: ScopePolicy{MinBits: 20, MaxBits: 24, FlipProb: 0.10}, AffinityVar: 0.7},
+		{Name: "www.youtube.com", Rank: 2, SupportsECS: true, TTL: 5 * time.Minute,
+			QueryWeight: 6.3, Scope: ScopePolicy{MinBits: 20, MaxBits: 24, FlipProb: 0.12}, AffinityVar: 1.0},
+		{Name: "www.tmall.com", Rank: 3, SupportsECS: false, TTL: time.Minute, QueryWeight: 2.5},
+		{Name: "www.baidu.com", Rank: 4, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 2.8},
+		{Name: "www.qq.com", Rank: 5, SupportsECS: false, TTL: 10 * time.Minute, QueryWeight: 2.2},
+		{Name: "www.sohu.com", Rank: 6, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 1.8},
+		{Name: "facebook.com", Rank: 7, SupportsECS: true, TTL: 5 * time.Minute,
+			QueryWeight: 3.6, Scope: ScopePolicy{MinBits: 20, MaxBits: 24, FlipProb: 0.08}, AffinityVar: 1.2},
+		{Name: "www.taobao.com", Rank: 8, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 1.7},
+		{Name: "www.amazon.com", Rank: 9, SupportsECS: false, TTL: time.Minute, QueryWeight: 2.4},
+		{Name: "twitter.com", Rank: 10, SupportsECS: true, TTL: 30 * time.Second,
+			QueryWeight: 2.0, Scope: ScopePolicy{MinBits: 22, MaxBits: 24, FlipProb: 0.1}},
+		{Name: "www.jd.com", Rank: 11, SupportsECS: false, TTL: 2 * time.Minute, QueryWeight: 1.2},
+		{Name: "www.yahoo.com", Rank: 12, SupportsECS: true, TTL: 30 * time.Second,
+			QueryWeight: 1.5, Scope: ScopePolicy{MinBits: 22, MaxBits: 24, FlipProb: 0.1}},
+		{Name: "www.wikipedia.org", Rank: 13, SupportsECS: true, TTL: 10 * time.Minute,
+			QueryWeight: 0.5, Scope: ScopePolicy{MinBits: 16, MaxBits: 18, FlipProb: 0.03}, AffinityVar: 1.3},
+		{Name: "www.weibo.com", Rank: 14, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 1.0},
+		{Name: "www.sina.com.cn", Rank: 15, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 0.9},
+		{Name: "www.zoom.us", Rank: 16, SupportsECS: false, TTL: time.Minute, QueryWeight: 1.1},
+		{Name: "www.xinhuanet.com", Rank: 17, SupportsECS: false, TTL: 10 * time.Minute, QueryWeight: 0.6},
+		{Name: "www.office.com", Rank: 18, SupportsECS: false, TTL: time.Minute, QueryWeight: 1.4},
+		{Name: "www.reddit.com", Rank: 19, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 1.3},
+		{Name: "www.netflix.com", Rank: 20, SupportsECS: false, TTL: time.Minute, QueryWeight: 1.6},
+		{Name: "azcdn.trafficmanager.net", Rank: 24, SupportsECS: true, TTL: 5 * time.Minute,
+			QueryWeight: 4.2, Scope: ScopePolicy{MinBits: 20, MaxBits: 24, FlipProb: 0.06}, AffinityVar: 0.3, Microsoft: true},
+		{Name: "www.instagram.com", Rank: 25, SupportsECS: false, TTL: time.Minute, QueryWeight: 1.2},
+		{Name: "www.bing.com", Rank: 30, SupportsECS: false, TTL: time.Minute, QueryWeight: 0.8},
+		{Name: "www.live.com", Rank: 33, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 0.9},
+		{Name: "vk.com", Rank: 40, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 0.6},
+		{Name: "www.twitch.tv", Rank: 41, SupportsECS: false, TTL: time.Minute, QueryWeight: 0.7},
+		{Name: "www.ebay.com", Rank: 45, SupportsECS: false, TTL: time.Minute, QueryWeight: 0.5},
+		{Name: "www.tiktok.com", Rank: 48, SupportsECS: false, TTL: time.Minute, QueryWeight: 1.0},
+		{Name: "www.cnn.com", Rank: 60, SupportsECS: false, TTL: time.Minute, QueryWeight: 0.4},
+		{Name: "www.wordpress.com", Rank: 65, SupportsECS: false, TTL: 5 * time.Minute, QueryWeight: 0.3},
+	}
+}
+
+// ByName returns the catalog entry for name.
+func ByName(name string) (Domain, bool) {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Domain{}, false
+}
+
+// SelectProbeDomains applies the paper's selection rule (§3.1.1): the n
+// highest-ranked domains that both support ECS and have TTLs above minTTL,
+// plus every Microsoft validation domain.
+func SelectProbeDomains(n int, minTTL time.Duration) []Domain {
+	all := Catalog()
+	sort.Slice(all, func(i, j int) bool { return all[i].Rank < all[j].Rank })
+	var out []Domain
+	for _, d := range all {
+		if d.Microsoft {
+			continue // appended below regardless of rank
+		}
+		if len(out) < n && d.SupportsECS && d.TTL > minTTL {
+			out = append(out, d)
+		}
+	}
+	for _, d := range all {
+		if d.Microsoft {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TotalQueryWeight sums the catalog's query weights.
+func TotalQueryWeight() float64 {
+	var t float64
+	for _, d := range Catalog() {
+		t += d.QueryWeight
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package domains
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogInvariants(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 25 {
+		t.Fatalf("catalog has %d entries", len(cat))
+	}
+	seenName := map[string]bool{}
+	microsoft := 0
+	for _, d := range cat {
+		if seenName[d.Name] {
+			t.Errorf("duplicate domain %s", d.Name)
+		}
+		seenName[d.Name] = true
+		if d.QueryWeight <= 0 || d.TTL <= 0 || d.Rank <= 0 {
+			t.Errorf("%s has non-positive weight/ttl/rank", d.Name)
+		}
+		if d.SupportsECS && (d.Scope.MinBits < 14 || d.Scope.MaxBits > 24 || d.Scope.MinBits > d.Scope.MaxBits) {
+			t.Errorf("%s has bad scope policy %+v", d.Name, d.Scope)
+		}
+		if d.Microsoft {
+			microsoft++
+		}
+	}
+	if microsoft != 1 {
+		t.Errorf("%d Microsoft validation domains, want 1", microsoft)
+	}
+}
+
+func TestSelectProbeDomainsMatchesPaper(t *testing.T) {
+	sel := SelectProbeDomains(4, time.Minute)
+	want := []string{"www.google.com", "www.youtube.com", "facebook.com", "www.wikipedia.org"}
+	if len(sel) != 5 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	for i, name := range want {
+		if sel[i].Name != name {
+			t.Errorf("sel[%d] = %s, want %s", i, sel[i].Name, name)
+		}
+	}
+	// A permissive TTL floor admits more ECS-capable domains.
+	loose := SelectProbeDomains(6, 0)
+	if len(loose) != 7 {
+		t.Errorf("loose selection = %d domains, want 6 + Microsoft", len(loose))
+	}
+}
+
+func TestByNameAndWeights(t *testing.T) {
+	d, ok := ByName("www.wikipedia.org")
+	if !ok || d.Scope.MinBits != 16 {
+		t.Errorf("wikipedia lookup: %+v %v", d, ok)
+	}
+	if _, ok := ByName("missing.example"); ok {
+		t.Error("unknown domain found")
+	}
+	if TotalQueryWeight() <= 0 {
+		t.Error("non-positive total weight")
+	}
+	// Google is the heaviest domain, as in any popularity ranking.
+	g, _ := ByName("www.google.com")
+	for _, d := range Catalog() {
+		if d.Name != g.Name && d.QueryWeight >= g.QueryWeight {
+			t.Errorf("%s outweighs google", d.Name)
+		}
+	}
+}

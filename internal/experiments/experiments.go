@@ -1,0 +1,139 @@
+// Package experiments reproduces the paper's evaluation: it assembles the
+// simulated measurement environment, runs both techniques and the
+// comparison dataset collections, and computes every table and figure of
+// the paper (Tables 1-5, Figures 1-7, and the headline statistics of §4).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"clientmap/internal/apnic"
+	"clientmap/internal/asdb"
+	"clientmap/internal/cdn"
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/core/datasets"
+	"clientmap/internal/core/dnslogs"
+	"clientmap/internal/randx"
+	"clientmap/internal/roots"
+	"clientmap/internal/routeviews"
+	"clientmap/internal/sim"
+	"clientmap/internal/world"
+)
+
+// Dataset names used throughout the tables.
+const (
+	NameCacheProbe  = "cache probing"
+	NameDNSLogs     = "DNS logs"
+	NameUnion       = "cache probing ∪ DNS logs"
+	NameAPNIC       = "APNIC"
+	NameMSClients   = "Microsoft clients"
+	NameMSResolvers = "Microsoft resolvers"
+)
+
+// Config parameterizes a full evaluation run.
+type Config struct {
+	Seed  randx.Seed
+	Scale world.Scale
+	// CampaignDuration is the cache-probing length (paper: 120 h).
+	CampaignDuration time.Duration
+	// Passes is how many assignment loops fit in the campaign.
+	Passes int
+	// TraceDuration is the DITL collection length (paper: 2 days).
+	TraceDuration time.Duration
+	// TraceDir holds generated root traces; empty means a temp dir.
+	TraceDir string
+	// PerSourceHourCap bounds trace size (see roots.GenConfig).
+	PerSourceHourCap int
+}
+
+// DefaultConfig returns a paper-faithful configuration at the given scale.
+func DefaultConfig(seed randx.Seed, scale world.Scale) Config {
+	return Config{
+		Seed:             seed,
+		Scale:            scale,
+		CampaignDuration: 120 * time.Hour,
+		Passes:           9,
+		TraceDuration:    48 * time.Hour,
+		PerSourceHourCap: 8,
+	}
+}
+
+// Results bundles everything a run produced.
+type Results struct {
+	Cfg Config
+	Sys *sim.System
+
+	Campaign *cacheprobe.Campaign
+	DNSLogs  *dnslogs.Result
+	CDN      *cdn.Datasets
+	APNIC    *apnic.Estimates
+	RV       *routeviews.Table
+	ASDB     *asdb.DB
+
+	// Prefix-granularity dataset views (Table 1).
+	PfxCacheProbe, PfxDNSLogs, PfxUnion, PfxMSClients, PfxMSResolvers *datasets.PrefixDataset
+	// AS-granularity dataset views (Tables 3-4).
+	ASCacheProbe, ASDNSLogs, ASUnion, ASAPNIC, ASMSClients, ASMSResolvers *datasets.ASDataset
+}
+
+// Run executes the full evaluation.
+func Run(cfg Config) (*Results, error) {
+	if cfg.CampaignDuration <= 0 {
+		cfg = DefaultConfig(cfg.Seed, cfg.Scale)
+	}
+	sys, err := sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{Cfg: cfg, Sys: sys, RV: sys.RV}
+
+	// Technique 1: cache probing.
+	pcfg := sys.ProberConfig()
+	pcfg.Duration = cfg.CampaignDuration
+	pcfg.Passes = cfg.Passes
+	camp, err := sys.Prober(pcfg).Run(noCtx(), sys.PoPCoords())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cache probing: %w", err)
+	}
+	res.Campaign = camp
+
+	// Technique 2: DNS logs over generated DITL traces.
+	dir := cfg.TraceDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "clientmap-ditl-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	gen := roots.NewGenerator(sys.Model)
+	_, err = gen.Generate(roots.GenConfig{
+		Start:            sys.Clock.Now().Add(-cfg.TraceDuration),
+		Duration:         cfg.TraceDuration,
+		PerSourceHourCap: cfg.PerSourceHourCap,
+	}, func(letter string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, "root-"+letter+".ditl"))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace generation: %w", err)
+	}
+	res.DNSLogs, err = dnslogs.Crawl(dnslogs.Config{}, func(letter string) (io.ReadCloser, error) {
+		return os.Open(filepath.Join(dir, "root-"+letter+".ditl"))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dns logs: %w", err)
+	}
+
+	// Comparison datasets: one day of CDN collections, APNIC estimates,
+	// ASdb categories.
+	res.CDN = cdn.Collect(sys.Model, sys.Clock.Now().Add(-24*time.Hour))
+	res.APNIC = apnic.Estimate(sys.World, apnic.Config{})
+	res.ASDB = asdb.FromWorld(sys.World, asdb.DefaultCoverage)
+
+	res.buildViews()
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"clientmap/internal/core/datasets"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/domains"
+	"clientmap/internal/netx"
+)
+
+// Headline collects §1/§4's headline statistics, each paired with the
+// paper's reported value for the EXPERIMENTS.md comparison.
+type Headline struct {
+	// UnionASVolumePct: ASes identified by either technique account for
+	// this percent of Microsoft clients query volume. Paper: 98.8.
+	UnionASVolumePct float64
+	// APNICASVolumePct: the same for APNIC. Paper: 92.
+	APNICASVolumePct float64
+	// UnionPrefixVolumePct: /24s identified by the techniques account for
+	// this percent of Microsoft clients volume. Paper: 95.2.
+	UnionPrefixVolumePct float64
+	// DNSLogsPrecisionPct: percent of DNS-logs prefixes also in Microsoft
+	// clients. Paper: 95.5.
+	DNSLogsPrecisionPct float64
+	// CacheProbeUpperPrecisionPct: percent of cache probing's upper-bound
+	// /24s also in Microsoft clients. Paper: 74.7.
+	CacheProbeUpperPrecisionPct float64
+	// ScopePrecisionPct: percent of cache-probing hit scopes containing
+	// at least one Microsoft-clients /24. Paper: 99.1.
+	ScopePrecisionPct float64
+	// ECSRecallPct: percent of ground-truth Traffic Manager ECS /24s that
+	// cache probing of the Microsoft domain recovered. Paper: 91.
+	ECSRecallPct float64
+	// DNSOverHTTPPct: percent of ECS-dataset query volume from prefixes
+	// the CDN also saw over HTTP. Paper: 97.2.
+	DNSOverHTTPPct float64
+	// HTTPOverDNSPct: percent of CDN HTTP volume from prefixes seen in
+	// the ECS dataset. Paper: 92.
+	HTTPOverDNSPct float64
+	// MSClientsASCoveragePct: percent of all observed ASes present in
+	// Microsoft clients. Paper: 97.
+	MSClientsASCoveragePct float64
+	// NewASesVsAPNIC is how many ASes the techniques found that APNIC
+	// lacks. Paper: 29,973 (absolute counts scale with the world).
+	NewASesVsAPNIC int
+}
+
+// ComputeHeadline derives the headline statistics from the run.
+func (r *Results) ComputeHeadline() Headline {
+	var h Headline
+
+	msVol := r.PfxMSClients.TotalVolume()
+	if msVol > 0 {
+		h.UnionPrefixVolumePct = 100 * r.PfxMSClients.VolumeIn(r.PfxUnion) / msVol
+	}
+	if total := r.ASMSClients.TotalVolume(); total > 0 {
+		h.UnionASVolumePct = 100 * r.ASMSClients.VolumeIn(r.ASUnion) / total
+		h.APNICASVolumePct = 100 * r.ASMSClients.VolumeIn(r.ASAPNIC) / total
+	}
+	if n := r.PfxDNSLogs.Len(); n > 0 {
+		h.DNSLogsPrecisionPct = 100 * float64(r.PfxDNSLogs.Set.IntersectCount(r.PfxMSClients.Set)) / float64(n)
+	}
+	if n := r.PfxCacheProbe.Len(); n > 0 {
+		h.CacheProbeUpperPrecisionPct = 100 * float64(r.PfxCacheProbe.Set.IntersectCount(r.PfxMSClients.Set)) / float64(n)
+	}
+
+	// Scope-level precision: hit scopes containing >= 1 CDN-observed /24.
+	scopes := r.Campaign.ActiveScopes()
+	if len(scopes) > 0 {
+		good := 0
+		for _, scope := range scopes {
+			found := false
+			scope.Slash24s(func(p netx.Slash24) bool {
+				if r.PfxMSClients.Set.Contains(p) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				good++
+			}
+		}
+		h.ScopePrecisionPct = 100 * float64(good) / float64(len(scopes))
+	}
+
+	// ECS ground-truth recall for the Microsoft validation domain.
+	msftDomain := ""
+	for _, d := range domains.Catalog() {
+		if d.Microsoft {
+			msftDomain = dnswire.CanonicalName(d.Name)
+		}
+	}
+	var msftUpper netx.Set24
+	for p := range r.Campaign.Hits[msftDomain] {
+		msftUpper.AddPrefix(p)
+	}
+	truth := r.CDN.ECS.ECSSlash24s()
+	if truth.Len() > 0 {
+		h.ECSRecallPct = 100 * float64(truth.IntersectCount(&msftUpper)) / float64(truth.Len())
+	}
+
+	// DNS activity as a proxy for HTTP activity (§4's first validation).
+	ecsPfx := r.ecsPrefixDataset()
+	if total := ecsPfx.TotalVolume(); total > 0 {
+		h.DNSOverHTTPPct = 100 * ecsPfx.VolumeIn(r.PfxMSClients) / total
+	}
+	if msVol > 0 {
+		h.HTTPOverDNSPct = 100 * r.PfxMSClients.VolumeIn(ecsPfx) / msVol
+	}
+
+	// AS coverage of the broadest dataset.
+	all := r.ASUnion.Union("all", r.ASAPNIC).
+		Union("all", r.ASMSClients).
+		Union("all", r.ASMSResolvers)
+	if all.Len() > 0 {
+		h.MSClientsASCoveragePct = 100 * float64(r.ASMSClients.Len()) / float64(all.Len())
+	}
+	h.NewASesVsAPNIC = len(r.ASUnion.Diff(r.ASAPNIC))
+	return h
+}
+
+// ecsPrefixDataset exposes the cloud ECS prefixes dataset at /24
+// granularity with query volume.
+func (r *Results) ecsPrefixDataset() *datasets.PrefixDataset {
+	out := datasets.NewPrefixDataset("cloud ECS prefixes")
+	for p, v := range r.CDN.ECS.Queries {
+		p.Slash24s(func(s netx.Slash24) bool {
+			out.Add(s, float64(v))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clientmap/internal/analysis"
+	"clientmap/internal/report"
+)
+
+// RenderMatrix renders an overlap matrix in the paper's style: each cell
+// "N (P%)" where P is the percent of the row dataset also in the column.
+func RenderMatrix(title string, m *analysis.Matrix) *report.Table {
+	t := &report.Table{Title: title, Header: append([]string{""}, m.Names...)}
+	for i, name := range m.Names {
+		row := []string{name}
+		for j := range m.Names {
+			if i == j {
+				row = append(row, report.CellWithPct(m.Size(i), 100))
+			} else {
+				row = append(row, report.CellWithPct(m.Inter[i][j], m.Pct(i, j)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderVolumeMatrix renders Table 4's percentage grid.
+func RenderVolumeMatrix(title string, m *analysis.VolumeMatrix) *report.Table {
+	t := &report.Table{Title: title, Header: append([]string{""}, m.ColNames...)}
+	for i, name := range m.RowNames {
+		row := []string{name}
+		for j := range m.ColNames {
+			row = append(row, report.Pct(m.Pct[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderTable2 renders the scope-stability rows.
+func RenderTable2(rows []Table2Row) *report.Table {
+	t := &report.Table{
+		Title:  "Table 2: query vs response scope stability",
+		Header: []string{"Domain", "Exact match", "Within 2", "Within 4", "Total hits"},
+	}
+	for _, r := range rows {
+		e, w2, w4 := r.Frac()
+		t.AddRow(r.Domain,
+			fmt.Sprintf("%d (%.0f%%)", r.Exact, e*100),
+			fmt.Sprintf("%d (%.0f%%)", r.Within2, w2*100),
+			fmt.Sprintf("%d (%.0f%%)", r.Within4, w4*100),
+			fmt.Sprintf("%d", r.Total))
+	}
+	return t
+}
+
+// RenderTable5 renders per-domain discovery stats plus the pairwise
+// overlap matrix.
+func RenderTable5(rows []Table5Row) *report.Table {
+	t := &report.Table{
+		Title:  "Table 5: cache probing results by domain",
+		Header: []string{"Domain", "Total prefixes", "Unique prefixes", "Total ASes", "Unique ASes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Domain,
+			report.Count(r.TotalPrefixes), report.Count(r.UniquePrefixes),
+			report.Count(r.TotalASes), report.Count(r.UniqueASes))
+	}
+	return t
+}
+
+// RenderTable5Overlap renders the bottom half of Table 5.
+func RenderTable5Overlap(rows []Table5Row) *report.Table {
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Domain
+	}
+	t := &report.Table{
+		Title:  "Table 5 (bottom): prefixes of row domain also hit by column domain",
+		Header: append([]string{""}, names...),
+	}
+	for _, r := range rows {
+		row := []string{r.Domain}
+		for _, other := range names {
+			if other == r.Domain {
+				row = append(row, report.CellWithPct(r.TotalPrefixes, 100))
+			} else {
+				n := r.OverlapWith[other]
+				pct := 0.0
+				if r.TotalPrefixes > 0 {
+					pct = 100 * float64(n) / float64(r.TotalPrefixes)
+				}
+				row = append(row, report.CellWithPct(n, pct))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderFigure2 renders the per-PoP service radius summary.
+func (r *Results) RenderFigure2() *report.Table {
+	t := &report.Table{
+		Title:  "Figure 2: per-PoP calibration (hit-distance quantiles, km)",
+		Header: []string{"PoP", "Hits", "p50", "p90 (radius)", "max", "Assigned scopes"},
+	}
+	var pops []string
+	for pop := range r.Campaign.PoPs {
+		pops = append(pops, pop)
+	}
+	sort.Strings(pops)
+	for _, pop := range pops {
+		cal := r.Campaign.PoPs[pop]
+		cdf := analysis.NewCDF(cal.HitDistancesKm)
+		if cdf.Len() == 0 {
+			t.AddRow(pop, "0", "-", fmt.Sprintf("%.0f (cap)", cal.RadiusKm), "-", fmt.Sprintf("%d", cal.Assigned))
+			continue
+		}
+		t.AddRow(pop,
+			fmt.Sprintf("%d", cdf.Len()),
+			fmt.Sprintf("%.0f", cdf.Quantile(0.5)),
+			fmt.Sprintf("%.0f", cal.RadiusKm),
+			fmt.Sprintf("%.0f", cdf.Quantile(1.0)),
+			fmt.Sprintf("%d", cal.Assigned))
+	}
+	return t
+}
+
+// HeadlineComparison pairs each measured headline stat with the paper's
+// reported value.
+type HeadlineComparison struct {
+	Name     string
+	Paper    string
+	Measured string
+}
+
+// CompareHeadline produces the paper-vs-measured rows for EXPERIMENTS.md.
+func CompareHeadline(h Headline) []HeadlineComparison {
+	f := func(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+	return []HeadlineComparison{
+		{"Union ASes' share of Microsoft clients volume", "98.8%", f(h.UnionASVolumePct)},
+		{"APNIC ASes' share of Microsoft clients volume", "92%", f(h.APNICASVolumePct)},
+		{"Union /24s' share of Microsoft clients volume", "95.2%", f(h.UnionPrefixVolumePct)},
+		{"DNS logs prefixes also in Microsoft clients", "95.5%", f(h.DNSLogsPrecisionPct)},
+		{"Cache-probing upper-bound /24s in Microsoft clients", "74.7%", f(h.CacheProbeUpperPrecisionPct)},
+		{"Hit scopes containing ≥1 Microsoft-clients /24", "99.1%", f(h.ScopePrecisionPct)},
+		{"Ground-truth ECS /24s recovered (Microsoft domain)", "91%", f(h.ECSRecallPct)},
+		{"ECS query volume from prefixes with CDN HTTP traffic", "97.2%", f(h.DNSOverHTTPPct)},
+		{"CDN HTTP volume from prefixes seen in ECS queries", "92%", f(h.HTTPOverDNSPct)},
+		{"Microsoft clients' coverage of all observed ASes", "97%", f(h.MSClientsASCoveragePct)},
+		{"ASes found by techniques but missing from APNIC", "29,973 (Internet scale)", fmt.Sprintf("%d (world scale)", h.NewASesVsAPNIC)},
+	}
+}
+
+// RenderAll renders the complete evaluation as text.
+func (r *Results) RenderAll() string {
+	var sb strings.Builder
+	sb.WriteString(RenderMatrix("Table 1: /24-prefix overlap", r.Table1()).String())
+	sb.WriteByte('\n')
+	sb.WriteString(RenderTable2(r.Table2()).String())
+	sb.WriteByte('\n')
+	sb.WriteString(RenderMatrix("Table 3: AS overlap", r.Table3()).String())
+	sb.WriteByte('\n')
+	sb.WriteString(RenderVolumeMatrix("Table 4: volume-weighted AS overlap", r.Table4()).String())
+	sb.WriteByte('\n')
+	t5 := r.Table5()
+	sb.WriteString(RenderTable5(t5).String())
+	sb.WriteByte('\n')
+	sb.WriteString(RenderTable5Overlap(t5).String())
+	sb.WriteByte('\n')
+	sb.WriteString(r.RenderFigure2().String())
+	sb.WriteByte('\n')
+
+	pops, _ := r.Figure1()
+	f1 := &report.Table{Title: "Figure 1: active prefixes per probed PoP", Header: []string{"PoP", "Active prefixes"}}
+	for _, e := range pops {
+		f1.AddRow(e.PoP, report.Count(e.Hits))
+	}
+	sb.WriteString(f1.String())
+	sb.WriteByte('\n')
+
+	f5 := r.Figure5()
+	counts := map[PoPClass]int{}
+	for _, cls := range f5 {
+		counts[cls]++
+	}
+	fig5 := &report.Table{Title: "Figure 5: PoP coverage", Header: []string{"Class", "PoPs (paper: 22/5/18)"}}
+	fig5.AddRow(string(PoPProbedVerified), fmt.Sprintf("%d", counts[PoPProbedVerified]))
+	fig5.AddRow(string(PoPUnprobedVerified), fmt.Sprintf("%d", counts[PoPUnprobedVerified]))
+	fig5.AddRow(string(PoPUnprobedUnverified), fmt.Sprintf("%d", counts[PoPUnprobedUnverified]))
+	sb.WriteString(fig5.String())
+	sb.WriteByte('\n')
+
+	head := &report.Table{Title: "Headline statistics (§1/§4)", Header: []string{"Statistic", "Paper", "Measured"}}
+	for _, c := range CompareHeadline(r.ComputeHeadline()) {
+		head.AddRow(c.Name, c.Paper, c.Measured)
+	}
+	sb.WriteString(head.String())
+	return sb.String()
+}

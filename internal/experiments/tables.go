@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"sort"
+
+	"clientmap/internal/analysis"
+	"clientmap/internal/core/datasets"
+	"clientmap/internal/netx"
+)
+
+// Table1 is the /24-prefix overlap matrix across the five prefix-level
+// datasets (union included), in the paper's row order.
+func (r *Results) Table1() *analysis.Matrix {
+	return analysis.PrefixOverlapMatrix([]*datasets.PrefixDataset{
+		r.PfxCacheProbe, r.PfxDNSLogs, r.PfxUnion, r.PfxMSClients, r.PfxMSResolvers,
+	})
+}
+
+// Table2Row is one domain's scope-stability validation.
+type Table2Row struct {
+	Domain  string
+	Exact   int
+	Within2 int
+	Within4 int
+	Total   int
+}
+
+// Frac returns (exact, within-2, within-4) fractions.
+func (t Table2Row) Frac() (float64, float64, float64) {
+	if t.Total == 0 {
+		return 0, 0, 0
+	}
+	n := float64(t.Total)
+	return float64(t.Exact) / n, float64(t.Within2) / n, float64(t.Within4) / n
+}
+
+// Table2 computes appendix A.2's scope-difference distribution per domain
+// plus an overall row.
+func (r *Results) Table2() []Table2Row {
+	var rows []Table2Row
+	overall := Table2Row{Domain: "Overall"}
+	var names []string
+	for name := range r.Campaign.ScopeDiffs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := Table2Row{Domain: name}
+		for diff, n := range r.Campaign.ScopeDiffs[name] {
+			row.Total += n
+			if diff == 0 {
+				row.Exact += n
+			}
+			if diff <= 2 {
+				row.Within2 += n
+			}
+			if diff <= 4 {
+				row.Within4 += n
+			}
+		}
+		overall.Exact += row.Exact
+		overall.Within2 += row.Within2
+		overall.Within4 += row.Within4
+		overall.Total += row.Total
+		rows = append(rows, row)
+	}
+	rows = append(rows, overall)
+	return rows
+}
+
+// Table3 is the AS overlap matrix across all six AS-level datasets.
+func (r *Results) Table3() *analysis.Matrix {
+	return analysis.ASOverlapMatrix([]*datasets.ASDataset{
+		r.ASCacheProbe, r.ASDNSLogs, r.ASUnion, r.ASAPNIC, r.ASMSClients, r.ASMSResolvers,
+	})
+}
+
+// Table4 is the volume-weighted AS overlap: rows are the datasets with an
+// activity volume (cache probing has none), columns are all six.
+func (r *Results) Table4() *analysis.VolumeMatrix {
+	rows := []*datasets.ASDataset{r.ASDNSLogs, r.ASAPNIC, r.ASMSClients, r.ASMSResolvers}
+	cols := []*datasets.ASDataset{r.ASCacheProbe, r.ASDNSLogs, r.ASUnion, r.ASAPNIC, r.ASMSClients, r.ASMSResolvers}
+	return analysis.VolumeOverlap(rows, cols)
+}
+
+// Table5Row is one probe domain's discovery performance.
+type Table5Row struct {
+	Domain         string
+	TotalPrefixes  int
+	UniquePrefixes int
+	TotalASes      int
+	UniqueASes     int
+	// OverlapWith[d] is how many of this domain's hit prefixes also hit
+	// domain d (containment either way counts as a match, as in B.4).
+	OverlapWith map[string]int
+}
+
+// Table5 computes appendix B.4: per-domain prefix/AS discovery and the
+// pairwise domain overlap matrix.
+func (r *Results) Table5() []Table5Row {
+	var names []string
+	for name := range r.Campaign.Hits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Per-domain hit tries for containment matching, and AS sets.
+	tries := make(map[string]*netx.Trie[bool], len(names))
+	asSets := make(map[string]map[uint32]bool, len(names))
+	for _, name := range names {
+		tr := &netx.Trie[bool]{}
+		asSet := make(map[uint32]bool)
+		for p := range r.Campaign.Hits[name] {
+			tr.Insert(p, true)
+			if asn, ok := r.RV.ASNOfPrefix(p); ok {
+				asSet[asn] = true
+			} else if asn, ok := r.RV.ASNOf(p.Addr()); ok {
+				asSet[asn] = true
+			}
+		}
+		tries[name] = tr
+		asSets[name] = asSet
+	}
+
+	// matches reports whether p overlaps any hit prefix of domain d.
+	matches := func(d string, p netx.Prefix) bool {
+		if _, _, ok := tries[d].LookupPrefix(p); ok {
+			return true // a broader (or equal) hit contains p
+		}
+		found := false
+		tries[d].CoveredBy(p, func(netx.Prefix, bool) bool {
+			found = true
+			return false
+		})
+		return found
+	}
+
+	var rows []Table5Row
+	for _, name := range names {
+		row := Table5Row{
+			Domain:        name,
+			TotalPrefixes: len(r.Campaign.Hits[name]),
+			TotalASes:     len(asSets[name]),
+			OverlapWith:   make(map[string]int),
+		}
+		for p := range r.Campaign.Hits[name] {
+			unique := true
+			for _, other := range names {
+				if other == name {
+					continue
+				}
+				if matches(other, p) {
+					row.OverlapWith[other]++
+					unique = false
+				}
+			}
+			if unique {
+				row.UniquePrefixes++
+			}
+		}
+		for asn := range asSets[name] {
+			unique := true
+			for _, other := range names {
+				if other != name && asSets[other][asn] {
+					unique = false
+					break
+				}
+			}
+			if unique {
+				row.UniqueASes++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+
+	"clientmap/internal/core/datasets"
+	"clientmap/internal/netx"
+)
+
+func noCtx() context.Context { return context.Background() }
+
+// buildViews derives the five dataset views at both granularities, the
+// exact reductions §4 compares:
+//
+//   - cache probing at prefix level is its *upper bound*: every /24 under
+//     a hit scope;
+//   - DNS logs at prefix level is the /24s of detected resolver addresses
+//     (a resolver-granularity signal, as the paper stresses);
+//   - Microsoft clients carries HTTP request volume per /24;
+//   - Microsoft resolvers carries client-IP counts per resolver /24;
+//   - APNIC exists only at AS granularity.
+func (r *Results) buildViews() {
+	// Prefix views.
+	r.PfxCacheProbe = datasets.NewPrefixDataset(NameCacheProbe)
+	r.Campaign.Upper24s().Range(func(p netx.Slash24) bool {
+		r.PfxCacheProbe.Set.Add(p)
+		return true
+	})
+
+	r.PfxDNSLogs = datasets.NewPrefixDataset(NameDNSLogs)
+	for addr, count := range r.DNSLogs.ResolverCounts {
+		r.PfxDNSLogs.Add(addr.Slash24(), count)
+	}
+
+	r.PfxUnion = r.PfxCacheProbe.Union(NameUnion, r.PfxDNSLogs)
+
+	r.PfxMSClients = datasets.NewPrefixDataset(NameMSClients)
+	for p, v := range r.CDN.Clients.Volume {
+		r.PfxMSClients.Add(p, float64(v))
+	}
+
+	r.PfxMSResolvers = datasets.NewPrefixDataset(NameMSResolvers)
+	for addr, n := range r.CDN.Resolvers.ClientIPs {
+		r.PfxMSResolvers.Add(addr.Slash24(), float64(n))
+	}
+
+	// AS views.
+	r.ASCacheProbe, _ = r.PfxCacheProbe.ToAS(NameCacheProbe, r.RV)
+	r.ASDNSLogs, _ = r.PfxDNSLogs.ToAS(NameDNSLogs, r.RV)
+	r.ASUnion = r.ASCacheProbe.Union(NameUnion, r.ASDNSLogs)
+	r.ASMSClients, _ = r.PfxMSClients.ToAS(NameMSClients, r.RV)
+	r.ASMSResolvers, _ = r.PfxMSResolvers.ToAS(NameMSResolvers, r.RV)
+
+	r.ASAPNIC = datasets.NewASDataset(NameAPNIC)
+	for asn, users := range r.APNIC.Users {
+		r.ASAPNIC.Add(asn, users)
+	}
+}
+
+// asCountry maps every announced ASN to its country code.
+func (r *Results) asCountry() map[uint32]string {
+	out := make(map[uint32]string, len(r.Sys.World.ASes))
+	for _, as := range r.Sys.World.ASes {
+		out[as.ASN] = as.Country
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package gpdns simulates Google Public DNS as the cache-probing technique
+// experiences it: a globally anycast recursive resolver with independent
+// per-PoP cache pools, RFC 7871 ECS cache semantics, per-transport rate
+// limits, and the property that non-recursive (RD=0) queries reveal cache
+// contents without polluting them.
+//
+// Cache contents come from two sources that can be combined freely:
+//
+//   - event-driven: explicit RD=1 queries (from simulated clients or real
+//     sockets) are forwarded to the authoritative and cached under the
+//     returned scope — the path integration tests and live demos use; and
+//   - lazy background fill: the world's client populations are modeled as
+//     Poisson query processes, and "is this record cached at this PoP right
+//     now?" is answered deterministically in O(1) at probe time, which is
+//     what makes simulating a 120-hour whole-address-space campaign
+//     tractable.
+package gpdns
+
+import (
+	"sync"
+	"time"
+
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+)
+
+// entry is one cached RRset.
+type entry struct {
+	name   string
+	addr   netx.Addr
+	scope  netx.Prefix // cache key granularity; /0 for non-ECS domains
+	expiry time.Time
+}
+
+// pool is one independent cache within a PoP. Google operates several per
+// site (§3.1.1 cites Trufflehunter), which is why the prober issues
+// redundant queries.
+type pool struct {
+	mu sync.Mutex
+	// byName holds the cached entries for a name; ECS-aware domains can
+	// have many entries under different scope prefixes.
+	byName map[string][]entry
+	// capacity bounds the number of live entries (0 = unbounded); when
+	// full, the oldest insertion is evicted (FIFO, a fair approximation of
+	// cache pressure for short-TTL records).
+	capacity int
+	size     int
+	fifo     []fifoKey
+}
+
+type fifoKey struct {
+	name  string
+	scope netx.Prefix
+}
+
+func newPool(capacity int) *pool {
+	return &pool{byName: make(map[string][]entry), capacity: capacity}
+}
+
+// lookup returns the live entry whose scope covers src, preferring the most
+// specific cover. Scope-/0 entries cover everything.
+func (p *pool) lookup(name string, src netx.Prefix, now time.Time) (entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entries := p.byName[name]
+	best := -1
+	for i := range entries {
+		e := &entries[i]
+		if !e.expiry.After(now) {
+			continue
+		}
+		if e.scope.ContainsPrefix(src) || src.ContainsPrefix(e.scope) {
+			if best < 0 || e.scope.Bits() > entries[best].scope.Bits() {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return entry{}, false
+	}
+	return entries[best], true
+}
+
+// insert caches e, replacing an expired or same-scope entry for the name.
+func (p *pool) insert(e entry, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entries := p.byName[e.name]
+	// Drop expired entries opportunistically and replace same-scope ones.
+	out := entries[:0]
+	for _, old := range entries {
+		if !old.expiry.After(now) || old.scope == e.scope {
+			p.size--
+			continue
+		}
+		out = append(out, old)
+	}
+	p.byName[e.name] = append(out, e)
+	p.size++
+	p.fifo = append(p.fifo, fifoKey{name: e.name, scope: e.scope})
+	for p.capacity > 0 && p.size > p.capacity && len(p.fifo) > 0 {
+		p.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked removes the oldest FIFO key still cached.
+func (p *pool) evictOldestLocked() {
+	for len(p.fifo) > 0 {
+		k := p.fifo[0]
+		p.fifo = p.fifo[1:]
+		entries, ok := p.byName[k.name]
+		if !ok {
+			continue
+		}
+		for i := range entries {
+			if entries[i].scope == k.scope {
+				p.byName[k.name] = append(entries[:i], entries[i+1:]...)
+				if len(p.byName[k.name]) == 0 {
+					delete(p.byName, k.name)
+				}
+				p.size--
+				return
+			}
+		}
+		// Key already replaced/expired out; keep scanning.
+	}
+}
+
+// site is the cache state of one PoP.
+type site struct {
+	pools []*pool
+}
+
+func newSite(pools, capacity int) *site {
+	s := &site{pools: make([]*pool, pools)}
+	for i := range s.pools {
+		s.pools[i] = newPool(capacity)
+	}
+	return s
+}
+
+// ttlRemaining converts an expiry into the TTL field of a response.
+func ttlRemaining(expiry, now time.Time) uint32 {
+	d := expiry.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	secs := uint32(d / time.Second)
+	if secs == 0 {
+		secs = 1
+	}
+	return secs
+}
+
+// answerFor builds the cache-hit response for query q.
+func answerFor(q *dnswire.Message, e entry, now time.Time) *dnswire.Message {
+	r := q.Reply()
+	r.RecursionAvailable = true
+	r.Answers = []dnswire.RR{{
+		Name:  e.name,
+		Class: dnswire.ClassINET,
+		TTL:   ttlRemaining(e.expiry, now),
+		Data:  dnswire.A{Addr: e.addr},
+	}}
+	if r.EDNS != nil && r.EDNS.ECS != nil {
+		r.EDNS.ECS.ScopePrefixLen = uint8(e.scope.Bits())
+	}
+	return r
+}
+
+// missFor builds the cache-miss response: NOERROR, no answers, scope 0 —
+// what a snooped resolver returns when it has nothing cached.
+func missFor(q *dnswire.Message) *dnswire.Message {
+	r := q.Reply()
+	r.RecursionAvailable = true
+	if r.EDNS != nil && r.EDNS.ECS != nil {
+		r.EDNS.ECS.ScopePrefixLen = 0
+	}
+	return r
+}

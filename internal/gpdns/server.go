@@ -1,0 +1,270 @@
+package gpdns
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clientmap/internal/anycast"
+	"clientmap/internal/clockx"
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+	"clientmap/internal/randx"
+)
+
+// MyAddrDomain is the diagnostic name whose TXT answer reveals which PoP a
+// query reached, mirroring o-o.myaddr.l.google.com (§3.1.1).
+const MyAddrDomain = "o-o.myaddr.l.google.com"
+
+// Config configures the simulator.
+type Config struct {
+	Seed  randx.Seed
+	Clock clockx.Clock
+	// PoolsPerPoP is the number of independent cache pools at each site.
+	PoolsPerPoP int
+	// UDPPerDomainRate/Burst is the repeated-domain rate limit over UDP —
+	// the low limit that forces the prober onto TCP.
+	UDPPerDomainRate, UDPPerDomainBurst float64
+	// TCPRate/Burst is the per-source limit over TCP (Google's documented
+	// normal limit is 1,500 QPS).
+	TCPRate, TCPBurst float64
+	// PoolCapacity bounds each cache pool's entry count (0 = unbounded,
+	// the default for simulations; production caches evict under load).
+	PoolCapacity int
+}
+
+// DefaultConfig returns production-like settings.
+func DefaultConfig(seed randx.Seed, clock clockx.Clock) Config {
+	return Config{
+		Seed:              seed,
+		Clock:             clock,
+		PoolsPerPoP:       3,
+		UDPPerDomainRate:  1.0,
+		UDPPerDomainBurst: 8,
+		TCPRate:           1500,
+		TCPBurst:          3000,
+	}
+}
+
+// Server simulates the whole anycast service. It implements dnsnet.Handler
+// (un-rate-limited); mount UDP() and TCP() to get transport-specific
+// limiting.
+type Server struct {
+	cfg    Config
+	router *anycast.Router
+
+	sites []*site
+	// upstream, when set, resolves RD=1 cache misses (the authoritative).
+	upstream dnsnet.Handler
+	// lazy, when set, supplies background client-driven cache contents.
+	lazy *LazyFill
+
+	mu       sync.Mutex
+	vantages map[netx.Addr]int   // registered vantage source → PoP idx
+	clients  func(netx.Addr) int // fallback source router (client addrs)
+	udpLims  map[string]*dnsnet.TokenBucket
+	tcpLims  map[netx.Addr]*dnsnet.TokenBucket
+
+	poolCtr atomic.Uint64
+	// Stats counters.
+	queries, hits, limited atomic.Uint64
+}
+
+// NewServer builds the simulator over the router's PoP catalog.
+func NewServer(cfg Config, router *anycast.Router) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = clockx.Real{}
+	}
+	if cfg.PoolsPerPoP <= 0 {
+		cfg.PoolsPerPoP = 3
+	}
+	s := &Server{
+		cfg:      cfg,
+		router:   router,
+		vantages: make(map[netx.Addr]int),
+		udpLims:  make(map[string]*dnsnet.TokenBucket),
+		tcpLims:  make(map[netx.Addr]*dnsnet.TokenBucket),
+	}
+	for range router.PoPs() {
+		s.sites = append(s.sites, newSite(cfg.PoolsPerPoP, cfg.PoolCapacity))
+	}
+	return s
+}
+
+// SetUpstream wires the authoritative handler used for RD=1 misses.
+func (s *Server) SetUpstream(h dnsnet.Handler) { s.upstream = h }
+
+// SetLazyFill attaches the background-traffic cache model.
+func (s *Server) SetLazyFill(lf *LazyFill) { s.lazy = lf }
+
+// RegisterVantage declares that queries from src reach the PoP at catalog
+// index popIdx (the result of the vantage's anycast route).
+func (s *Server) RegisterVantage(src netx.Addr, popIdx int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vantages[src] = popIdx
+}
+
+// SetClientRouter supplies the PoP lookup for non-vantage sources (used by
+// event-driven client simulations); return -1 for unroutable sources.
+func (s *Server) SetClientRouter(f func(netx.Addr) int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clients = f
+}
+
+// Stats reports (queries served, cache hits, rate-limited drops).
+func (s *Server) Stats() (queries, hits, limited uint64) {
+	return s.queries.Load(), s.hits.Load(), s.limited.Load()
+}
+
+func (s *Server) route(from netx.Addr) int {
+	s.mu.Lock()
+	popIdx, ok := s.vantages[from]
+	clients := s.clients
+	s.mu.Unlock()
+	if ok {
+		return popIdx
+	}
+	if clients != nil {
+		return clients(from)
+	}
+	return -1
+}
+
+// ServeDNS implements dnsnet.Handler without transport rate limits.
+func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Message) *dnswire.Message {
+	s.queries.Add(1)
+	popIdx := s.route(from)
+	if popIdx < 0 || popIdx >= len(s.sites) {
+		return nil // no anycast route from this source
+	}
+	qq := q.Question()
+
+	if qq.Name == MyAddrDomain {
+		r := q.Reply()
+		r.RecursionAvailable = true
+		r.Answers = []dnswire.RR{{
+			Name:  qq.Name,
+			Class: dnswire.ClassINET,
+			TTL:   60,
+			Data:  dnswire.TXT{Strings: []string{s.router.PoPs()[popIdx].Name}},
+		}}
+		return r
+	}
+	if qq.Type != dnswire.TypeA {
+		r := q.Reply()
+		r.RecursionAvailable = true
+		return r
+	}
+
+	// Effective ECS source: supplied by the client, else derived from the
+	// client address at /24 — Google's default behaviour.
+	src := netx.PrefixFrom(from, 24)
+	if q.EDNS != nil && q.EDNS.ECS != nil {
+		src = q.EDNS.ECS.SourcePrefix()
+	}
+
+	now := s.cfg.Clock.Now()
+	st := s.sites[popIdx]
+	poolIdx := int(s.poolCtr.Add(1)) % len(st.pools)
+	p := st.pools[poolIdx]
+
+	if e, ok := p.lookup(qq.Name, src, now); ok {
+		s.hits.Add(1)
+		return answerFor(q, e, now)
+	}
+	// Lazy background fill: would client-driven traffic have this cached?
+	if s.lazy != nil {
+		if e, ok := s.lazy.Lookup(popIdx, poolIdx, qq.Name, src, now); ok {
+			s.hits.Add(1)
+			return answerFor(q, e, now)
+		}
+	}
+
+	if !q.RecursionDesired {
+		// Cache snooping: a non-recursive miss never goes upstream (the
+		// behaviour §3.1.1 verifies against a controlled authoritative).
+		return missFor(q)
+	}
+	if s.upstream == nil {
+		r := q.Reply()
+		r.RCode = dnswire.RCodeServFail
+		return r
+	}
+
+	// Recursive resolution: forward with ECS and cache under the returned
+	// scope in this pool.
+	fq := dnswire.NewQuery(q.ID, qq.Name, dnswire.TypeA).WithECS(src)
+	resp := s.upstream.ServeDNS(ctx, 0, fq)
+	if resp == nil || resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
+		r := q.Reply()
+		r.RecursionAvailable = true
+		if resp != nil {
+			r.RCode = resp.RCode
+		} else {
+			r.RCode = dnswire.RCodeServFail
+		}
+		return r
+	}
+	a, ok := resp.Answers[0].Data.(dnswire.A)
+	if !ok {
+		r := q.Reply()
+		r.RCode = dnswire.RCodeServFail
+		return r
+	}
+	scope := netx.PrefixFrom(src.Addr(), 0)
+	if resp.EDNS != nil && resp.EDNS.ECS != nil {
+		scope = netx.PrefixFrom(src.Addr(), int(resp.EDNS.ECS.ScopePrefixLen))
+	}
+	e := entry{
+		name:   qq.Name,
+		addr:   a.Addr,
+		scope:  scope,
+		expiry: now.Add(time.Duration(resp.Answers[0].TTL) * time.Second),
+	}
+	p.insert(e, now)
+	return answerFor(q, e, now)
+}
+
+// UDP returns the handler with Google's UDP behaviour: a strict per
+// (source, domain) limit that repeated probing trips quickly. Dropped
+// queries time out (nil response).
+func (s *Server) UDP() dnsnet.Handler {
+	return dnsnet.HandlerFunc(func(ctx context.Context, from netx.Addr, q *dnswire.Message) *dnswire.Message {
+		key := fmt.Sprintf("%v|%s", from, q.Question().Name)
+		s.mu.Lock()
+		lim, ok := s.udpLims[key]
+		if !ok {
+			lim = dnsnet.NewTokenBucket(s.cfg.Clock, s.cfg.UDPPerDomainRate, s.cfg.UDPPerDomainBurst)
+			s.udpLims[key] = lim
+		}
+		s.mu.Unlock()
+		if !lim.Allow() {
+			s.limited.Add(1)
+			return nil
+		}
+		return s.ServeDNS(ctx, from, q)
+	})
+}
+
+// TCP returns the handler with the per-source TCP limit (~1,500 QPS).
+func (s *Server) TCP() dnsnet.Handler {
+	return dnsnet.HandlerFunc(func(ctx context.Context, from netx.Addr, q *dnswire.Message) *dnswire.Message {
+		s.mu.Lock()
+		lim, ok := s.tcpLims[from]
+		if !ok {
+			lim = dnsnet.NewTokenBucket(s.cfg.Clock, s.cfg.TCPRate, s.cfg.TCPBurst)
+			s.tcpLims[from] = lim
+		}
+		s.mu.Unlock()
+		if !lim.Allow() {
+			s.limited.Add(1)
+			return nil
+		}
+		return s.ServeDNS(ctx, from, q)
+	})
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Sample", Header: []string{"name", "count", "pct"}}
+	t.AddRow("alpha", "10", "50.0%")
+	t.AddRow("a,b \"c\"", "3", "15.0%")
+	return t
+}
+
+func TestStringAligned(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows... title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "Sample") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// Column alignment: "count" starts at the same offset in header and rows.
+	headerIdx := strings.Index(lines[1], "count")
+	rowIdx := strings.Index(lines[3], "10")
+	if headerIdx != rowIdx {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.Contains(md, "**Sample**") {
+		t.Error("missing bold title")
+	}
+	if !strings.Contains(md, "| name | count | pct |") {
+		t.Errorf("bad header row:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|---|") {
+		t.Error("missing separator")
+	}
+	if strings.Count(md, "\n|") < 3 {
+		t.Error("missing rows")
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"a,b ""c"""`) {
+		t.Errorf("cell not quoted: %s", out)
+	}
+	if !strings.HasPrefix(out, "name,count,pct\n") {
+		t.Errorf("bad header: %s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Errorf("wrong line count: %s", out)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int]string{
+		0:          "0",
+		9999:       "9999",
+		10000:      "10.0K",
+		9_712_200:  "9712.2K", // Table 1's own style for the cacheprobe set
+		10_000_000: "10.0M",
+		15_527_909: "15.5M",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCellWithPctAndPct(t *testing.T) {
+	if got := CellWithPct(12345, 67.89); got != "12.3K (67.9%)" {
+		t.Errorf("CellWithPct = %q", got)
+	}
+	if got := Pct(99.06); got != "99.1%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := &Table{Header: []string{"set", "n"}}
+	tb.AddRow("cache probing ∪ DNS logs", "5")
+	out := tb.String()
+	if !strings.Contains(out, "∪") {
+		t.Fatal("unicode cell lost")
+	}
+}

@@ -1,0 +1,348 @@
+package roots
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clientmap/internal/anycast"
+	"clientmap/internal/clockx"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+	"clientmap/internal/traffic"
+	"clientmap/internal/world"
+)
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, "J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := clockx.Epoch
+	recs := []Record{
+		{Time: base, Src: netx.MustParseAddr("192.0.2.53"), QName: "abcdefgh", QType: dnswire.TypeA, Weight: 1},
+		{Time: base.Add(137 * time.Millisecond), Src: netx.MustParseAddr("10.0.0.53"), QName: "columbia", QType: dnswire.TypeA, Weight: 3},
+		{Time: base.Add(2 * time.Second), Src: netx.MustParseAddr("172.16.0.1"), QName: "x.com", QType: dnswire.TypeNS, Weight: 1},
+	}
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Count() != 3 {
+		t.Errorf("Count = %d", tw.Count())
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Letter() != "J" {
+		t.Errorf("letter = %q", tr.Letter())
+	}
+	for i, want := range recs {
+		got, err := tr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !got.Time.Equal(want.Time) || got.Src != want.Src || got.QName != want.QName ||
+			got.QType != want.QType || got.Weight != want.Weight {
+			t.Errorf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, "A")
+	base := clockx.Epoch
+	if err := tw.Write(Record{Time: base.Add(time.Hour), QName: "abcdefg"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Record{Time: base, QName: "abcdefg"}); err == nil {
+		t.Error("out-of-order record accepted")
+	}
+}
+
+func TestWriterDefaultsWeight(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, "A")
+	if err := tw.Write(Record{Time: clockx.Epoch, QName: "abcdefg"}); err != nil {
+		t.Fatal(err)
+	}
+	tw.Close()
+	tr, _ := NewReader(&buf)
+	rec, err := tr.Next()
+	if err != nil || rec.Weight != 1 {
+		t.Errorf("weight = %d, err = %v; want 1", rec.Weight, err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("not a trace")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func genTest(t testing.TB, dur time.Duration) (map[string]*bytes.Buffer, Stats, *Generator) {
+	t.Helper()
+	w, err := world.Generate(world.Config{Seed: 41, Scale: world.ScaleTiny, Params: world.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := anycast.NewRouter(41, anycast.Catalog())
+	model := traffic.NewModel(w, router, traffic.DefaultTunables())
+	g := NewGenerator(model)
+	bufs := make(map[string]*bytes.Buffer)
+	stats, err := g.Generate(GenConfig{Start: clockx.Epoch, Duration: dur}, func(letter string) (io.WriteCloser, error) {
+		b := &bytes.Buffer{}
+		bufs[letter] = b
+		return nopCloser{b}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bufs, stats, g
+}
+
+func TestGenerateProducesAllLetters(t *testing.T) {
+	bufs, stats, _ := genTest(t, 6*time.Hour)
+	if len(bufs) != len(Letters) {
+		t.Fatalf("generated %d letters", len(bufs))
+	}
+	if stats.Records == 0 || stats.Chromium == 0 || stats.Junk == 0 {
+		t.Fatalf("empty stats: %+v", stats)
+	}
+	if stats.WeightTotal < uint64(stats.Records) {
+		t.Errorf("weight total %d below record count %d", stats.WeightTotal, stats.Records)
+	}
+
+	total := 0
+	for letter, buf := range bufs {
+		tr, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", letter, err)
+		}
+		last := time.Time{}
+		for {
+			rec, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", letter, err)
+			}
+			if rec.Time.Before(last) {
+				t.Fatalf("%s: records out of order", letter)
+			}
+			last = rec.Time
+			total++
+		}
+	}
+	if total != stats.Records {
+		t.Errorf("read %d records, stats say %d", total, stats.Records)
+	}
+}
+
+func TestGenerateChromiumNamesLookRandom(t *testing.T) {
+	bufs, _, gen := genTest(t, 4*time.Hour)
+	egress := map[netx.Addr]bool{}
+	for _, a := range gen.GoogleEgress() {
+		egress[a] = true
+	}
+	nameCounts := map[string]int{}
+	sawGoogleSource := false
+	for _, buf := range bufs {
+		tr, _ := NewReader(bytes.NewReader(buf.Bytes()))
+		for {
+			rec, err := tr.Next()
+			if err != nil {
+				break
+			}
+			if egress[rec.Src] {
+				sawGoogleSource = true
+			}
+			if !strings.Contains(rec.QName, ".") && len(rec.QName) >= 7 && len(rec.QName) <= 15 {
+				nameCounts[rec.QName]++
+			}
+		}
+	}
+	if !sawGoogleSource {
+		t.Error("no root queries from Google Public DNS egress addresses")
+	}
+	// Unique random names dominate; junk/DGA names repeat heavily.
+	unique, repeated := 0, 0
+	for name, n := range nameCounts {
+		if n == 1 {
+			unique++
+		}
+		if n > 7 {
+			repeated++
+			// The repeated ones must be junk or DGA, not fresh randomness:
+			// 40 DGA names + the junk dictionary bounds the repeat set.
+			_ = name
+		}
+	}
+	if unique < 100 {
+		t.Errorf("only %d unique random-label names", unique)
+	}
+	if repeated == 0 {
+		t.Error("no heavily repeated single-label names; collision filter untestable")
+	}
+	if repeated > 60 {
+		t.Errorf("%d heavily repeated names, expected bounded junk+DGA set", repeated)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, _ := genTest(t, 2*time.Hour)
+	b, _, _ := genTest(t, 2*time.Hour)
+	for letter := range a {
+		if !bytes.Equal(a[letter].Bytes(), b[letter].Bytes()) {
+			t.Fatalf("letter %s traces differ across identical runs", letter)
+		}
+	}
+}
+
+func TestGenerateWeightCap(t *testing.T) {
+	// With a tiny cap, heavy sources must emit weighted records.
+	w, err := world.Generate(world.Config{Seed: 43, Scale: world.ScaleTiny, Params: world.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := anycast.NewRouter(43, anycast.Catalog())
+	model := traffic.NewModel(w, router, traffic.DefaultTunables())
+	g := NewGenerator(model)
+	bufs := make(map[string]*bytes.Buffer)
+	_, err = g.Generate(GenConfig{
+		Start: clockx.Epoch, Duration: 2 * time.Hour,
+		PerSourceHourCap: 3, Letters: []string{"J"},
+	}, func(letter string) (io.WriteCloser, error) {
+		b := &bytes.Buffer{}
+		bufs[letter] = b
+		return nopCloser{b}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := NewReader(bytes.NewReader(bufs["J"].Bytes()))
+	weighted := false
+	for {
+		rec, err := tr.Next()
+		if err != nil {
+			break
+		}
+		if rec.Weight > 1 {
+			weighted = true
+		}
+	}
+	if !weighted {
+		t.Error("no weighted records despite cap of 3")
+	}
+}
+
+// TestTraceRoundTripQuick property-checks the binary format: any ordered
+// sequence of records survives a write/read cycle.
+func TestTraceRoundTripQuick(t *testing.T) {
+	f := func(srcs []uint32, weights []uint16, deltas []uint16) bool {
+		n := len(srcs)
+		if len(weights) < n {
+			n = len(weights)
+		}
+		if len(deltas) < n {
+			n = len(deltas)
+		}
+		if n == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		tw, err := NewWriter(&buf, "K")
+		if err != nil {
+			return false
+		}
+		names := []string{"abcdefg", "columbia", "x.com", "zzzzzzzzzzzzzzz"}
+		ts := clockx.Epoch
+		var want []Record
+		for i := 0; i < n; i++ {
+			ts = ts.Add(time.Duration(deltas[i]) * time.Microsecond)
+			rec := Record{
+				Time:   ts,
+				Src:    netx.Addr(srcs[i]),
+				QName:  names[i%len(names)],
+				QType:  dnswire.TypeA,
+				Weight: uint32(weights[i])%1000 + 1,
+			}
+			if err := tw.Write(rec); err != nil {
+				return false
+			}
+			want = append(want, rec)
+		}
+		if err := tw.Close(); err != nil {
+			return false
+		}
+		tr, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, w := range want {
+			got, err := tr.Next()
+			if err != nil {
+				return false
+			}
+			if !got.Time.Equal(w.Time) || got.Src != w.Src || got.QName != w.QName || got.Weight != w.Weight {
+				return false
+			}
+		}
+		_, err = tr.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, "A")
+	_ = tw.Write(Record{Time: clockx.Epoch, QName: "abcdefg", Src: 1})
+	_ = tw.Write(Record{Time: clockx.Epoch.Add(time.Second), QName: "hijklmn", Src: 2})
+	_ = tw.Close()
+	whole := buf.Bytes()
+
+	// Any strict prefix either yields fewer records or a non-EOF error —
+	// never a panic or phantom records.
+	for cut := len(whole) - 1; cut > len(traceMagic); cut -= 3 {
+		tr, err := NewReader(bytes.NewReader(whole[:cut]))
+		if err != nil {
+			continue // header itself truncated
+		}
+		count := 0
+		for {
+			_, err := tr.Next()
+			if err != nil {
+				break
+			}
+			count++
+			if count > 2 {
+				t.Fatal("phantom records from truncated stream")
+			}
+		}
+	}
+}

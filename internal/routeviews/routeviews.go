@@ -1,0 +1,128 @@
+// Package routeviews provides the prefix-to-AS mapping the analysis uses
+// to aggregate /24 results to ASes and to count each AS's announced /24s
+// (the denominator of Figure 4). It mirrors the CAIDA RouteViews
+// prefix2as dataset: a longest-prefix-match table derived from BGP
+// announcements, with a text serialization compatible in spirit with the
+// published files.
+package routeviews
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clientmap/internal/netx"
+	"clientmap/internal/world"
+)
+
+// Table maps prefixes to origin ASNs.
+type Table struct {
+	trie netx.Trie[uint32]
+	// announced24 counts announced /24s per ASN.
+	announced24 map[uint32]int
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{announced24: make(map[uint32]int)}
+}
+
+// FromWorld derives the table from the world's BGP ground truth (which
+// includes the synthetic Google AS and its egress /16).
+func FromWorld(w *world.World) *Table {
+	t := New()
+	w.Announcements().Walk(func(p netx.Prefix, asIdx int32) bool {
+		t.Add(p, w.ASes[asIdx].ASN)
+		return true
+	})
+	return t
+}
+
+// Add inserts an announcement.
+func (t *Table) Add(p netx.Prefix, asn uint32) {
+	if t.trie.Insert(p, asn) {
+		t.announced24[asn] += p.NumSlash24s()
+	}
+}
+
+// ASNOf returns the origin ASN for an address.
+func (t *Table) ASNOf(a netx.Addr) (uint32, bool) {
+	asn, _, ok := t.trie.Lookup(a)
+	return asn, ok
+}
+
+// ASNOfPrefix returns the origin ASN of the most specific announcement
+// containing p.
+func (t *Table) ASNOfPrefix(p netx.Prefix) (uint32, bool) {
+	asn, _, ok := t.trie.LookupPrefix(p)
+	return asn, ok
+}
+
+// Announced24s returns how many /24s the ASN announces.
+func (t *Table) Announced24s(asn uint32) int { return t.announced24[asn] }
+
+// ASNs returns all origin ASNs in ascending order.
+func (t *Table) ASNs() []uint32 {
+	out := make([]uint32, 0, len(t.announced24))
+	for asn := range t.announced24 {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of announcements.
+func (t *Table) Len() int { return t.trie.Len() }
+
+// Save writes the table in the prefix2as text format:
+// "address<TAB>length<TAB>asn", one announcement per line.
+func (t *Table) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	t.trie.Walk(func(p netx.Prefix, asn uint32) bool {
+		_, err = fmt.Fprintf(bw, "%s\t%d\t%d\n", p.Addr(), p.Bits(), asn)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load parses the prefix2as text format.
+func Load(r io.Reader) (*Table, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("routeviews: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		addr, err := netx.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("routeviews: line %d: %v", line, err)
+		}
+		bits, err := strconv.Atoi(fields[1])
+		if err != nil || bits < 0 || bits > 32 {
+			return nil, fmt.Errorf("routeviews: line %d: bad length %q", line, fields[1])
+		}
+		asn, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("routeviews: line %d: bad asn %q", line, fields[2])
+		}
+		t.Add(netx.PrefixFrom(addr, bits), uint32(asn))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

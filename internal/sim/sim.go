@@ -1,0 +1,173 @@
+// Package sim is the composition root of the simulated measurement
+// environment: it generates a world, wires the authoritative servers, the
+// Google Public DNS model (with lazy background cache fill), the cloud
+// vantage points and the in-memory transport, and exposes ready-to-run
+// probers and dataset collectors. The experiment harness, the public API
+// and the integration tests all assemble the system through this package.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"clientmap/internal/anycast"
+	"clientmap/internal/authdns"
+	"clientmap/internal/clockx"
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/domains"
+	"clientmap/internal/geo"
+	"clientmap/internal/gpdns"
+	"clientmap/internal/netx"
+	"clientmap/internal/randx"
+	"clientmap/internal/routeviews"
+	"clientmap/internal/traffic"
+	"clientmap/internal/world"
+)
+
+// Server names on the in-memory network.
+const (
+	GoogleDNSTCP = "8.8.8.8/tcp"
+	GoogleDNSUDP = "8.8.8.8/udp"
+	AuthServer   = "auth.example"
+)
+
+// Config assembles a system.
+type Config struct {
+	Seed  randx.Seed
+	Scale world.Scale
+	// Params overrides the world's behavioural parameters; zero value
+	// means defaults.
+	Params *world.Params
+	// Tunables overrides the workload; zero value means defaults.
+	Tunables *traffic.Tunables
+	// WireCodec makes every in-memory exchange round-trip through the DNS
+	// wire codec (slower, maximally faithful). Tests enable it; bulk
+	// campaigns leave it off.
+	WireCodec bool
+	// Start is the simulated campaign start; zero means clockx.Epoch.
+	Start time.Time
+}
+
+// System is the assembled environment.
+type System struct {
+	World  *world.World
+	Router *anycast.Router
+	Model  *traffic.Model
+	Clock  *clockx.Sim
+	Auth   *authdns.Server
+	Google *gpdns.Server
+	Net    *dnsnet.MemNet
+	RV     *routeviews.Table
+
+	vantages []cacheprobe.Vantage
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	params := world.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	w, err := world.Generate(world.Config{Seed: cfg.Seed, Scale: cfg.Scale, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	tun := traffic.DefaultTunables()
+	if cfg.Tunables != nil {
+		tun = *cfg.Tunables
+	}
+	router := anycast.NewRouter(cfg.Seed, anycast.Catalog())
+	model := traffic.NewModel(w, router, tun)
+	clock := clockx.NewSim(cfg.Start)
+
+	auth := authdns.New(cfg.Seed, domains.Catalog())
+	gcfg := gpdns.DefaultConfig(cfg.Seed, clock)
+	google := gpdns.NewServer(gcfg, router)
+	google.SetUpstream(auth)
+	google.SetLazyFill(gpdns.NewLazyFill(model, gcfg.PoolsPerPoP))
+
+	net := dnsnet.NewMemNet(cfg.WireCodec)
+	net.Register(GoogleDNSTCP, google.TCP())
+	net.Register(GoogleDNSUDP, google.UDP())
+	net.Register(AuthServer, auth)
+
+	s := &System{
+		World:  w,
+		Router: router,
+		Model:  model,
+		Clock:  clock,
+		Auth:   auth,
+		Google: google,
+		Net:    net,
+		RV:     routeviews.FromWorld(w),
+	}
+	s.wireVantages()
+	return s, nil
+}
+
+// wireVantages gives each cloud vantage a source address in 100.64.0.0/16
+// (cloud space outside the world allocator) and registers its anycast
+// route with the Google front end.
+func (s *System) wireVantages() {
+	for i, v := range anycast.CloudVantages() {
+		addr := netx.AddrFrom4(100, 64, byte(i/250), byte(1+i%250))
+		popIdx := s.Router.PoPForVantage(v.Coord)
+		if popIdx < 0 {
+			continue
+		}
+		s.Google.RegisterVantage(addr, popIdx)
+		s.vantages = append(s.vantages, cacheprobe.Vantage{
+			Name:      fmt.Sprintf("%s:%s", v.Provider, v.Name),
+			Coord:     v.Coord,
+			Addr:      addr,
+			Exchanger: s.Net.Client(addr),
+			Server:    GoogleDNSTCP,
+		})
+	}
+}
+
+// Vantages returns the wired cloud vantage points.
+func (s *System) Vantages() []cacheprobe.Vantage { return s.vantages }
+
+// PoPCoords returns the coordinates of every cataloged PoP by name — the
+// public knowledge the prober uses for scope assignment.
+func (s *System) PoPCoords() map[string]geo.Coord {
+	out := make(map[string]geo.Coord)
+	for _, p := range s.Router.PoPs() {
+		out[p.Name] = p.Coord
+	}
+	return out
+}
+
+// ProbeDomains returns the paper's probe-domain selection.
+func (s *System) ProbeDomains() []domains.Domain {
+	return domains.SelectProbeDomains(4, time.Minute)
+}
+
+// ProberConfig returns a cache-probing configuration sized to the world.
+// Campaign-level knobs (duration, redundancy, passes) can be adjusted on
+// the returned value before constructing the prober.
+func (s *System) ProberConfig() cacheprobe.Config {
+	samples := len(s.World.Prefixes) / 40
+	if samples < 200 {
+		samples = 200
+	}
+	return cacheprobe.Config{
+		Seed:               s.World.Cfg.Seed,
+		Clock:              s.Clock,
+		Domains:            s.ProbeDomains(),
+		GeoDB:              s.World.GeoDB(),
+		Universe:           s.World.PublicSpan(),
+		CalibrationSamples: samples,
+	}
+}
+
+// Prober builds a ready-to-run cache prober.
+func (s *System) Prober(cfg cacheprobe.Config) *cacheprobe.Prober {
+	auth := cacheprobe.Authoritative{
+		Exchanger: s.Net.Client(netx.AddrFrom4(100, 64, 255, 1)),
+		Server:    AuthServer,
+	}
+	return cacheprobe.NewProber(cfg, s.vantages, auth)
+}

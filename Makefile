@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the whole suite under the race detector; the campaign tests run
+# at ScaleTiny, so this covers the parallel probing engine end to end.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# check is the pre-merge gate: static analysis plus the race-enabled suite.
+check: vet race

@@ -7,9 +7,11 @@ package clientmap
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -349,6 +351,42 @@ func BenchmarkAblationCollisionThreshold(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(res.ResolverCounts)), "resolvers")
 			b.ReportMetric(float64(res.FilteredNames), "filtered_names")
+		})
+	}
+}
+
+// BenchmarkCampaignParallel measures the probing campaign fully sequential
+// (Workers=1) versus with one worker per CPU, over identical worlds — the
+// speedup of the parallel probing engine. The two variants produce
+// bit-identical campaigns (see experiments.TestParallelDeterminism), so
+// any throughput difference is pure scheduling. BENCH_campaign.json keeps
+// the measured baseline.
+func BenchmarkCampaignParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=%d", runtime.NumCPU()), runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			probes := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := benchSystem(b)
+				cfg := s.ProberConfig()
+				cfg.Duration = 24 * time.Hour
+				cfg.Passes = 3
+				cfg.Workers = bc.workers
+				b.StartTimer()
+				camp, err := s.Prober(cfg).Run(context.Background(), s.PoPCoords())
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes += camp.ProbesSent
+			}
+			b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/sec")
+			b.ReportMetric(float64(bc.workers), "workers")
 		})
 	}
 }

@@ -71,6 +71,9 @@ type Config struct {
 	Passes int
 	// TraceHours is the DITL collection length (0 = the paper's 48).
 	TraceHours int
+	// Workers bounds the probing campaign's worker pools (0 = one per
+	// CPU, 1 = sequential). The worker count never changes results.
+	Workers int
 }
 
 // Evaluation is a completed run: both techniques plus all baseline
@@ -95,6 +98,7 @@ func Run(cfg Config) (*Evaluation, error) {
 	if cfg.TraceHours > 0 {
 		ecfg.TraceDuration = time.Duration(cfg.TraceHours) * time.Hour
 	}
+	ecfg.Workers = cfg.Workers
 	res, err := experiments.Run(ecfg)
 	if err != nil {
 		return nil, err

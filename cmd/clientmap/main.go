@@ -27,13 +27,14 @@ func main() {
 		scale    = flag.String("scale", "tiny", "world scale: tiny|small|medium|large")
 		prefix   = flag.String("prefix", "", "look up client activity for this CIDR prefix")
 		asn      = flag.Uint("asn", 0, "look up client activity for this AS number")
+		workers  = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
 		report   = flag.Bool("report", false, "print the full evaluation report")
 		coverage = flag.Bool("coverage", false, "print per-country user coverage")
 		headline = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
 	)
 	flag.Parse()
 
-	eval, err := clientmap.Run(clientmap.Config{Seed: *seed, Scale: *scale})
+	eval, err := clientmap.Run(clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

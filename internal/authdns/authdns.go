@@ -27,8 +27,7 @@ type Server struct {
 	zones map[string]domains.Domain
 	addrs map[string]netx.Addr
 
-	mu      sync.Mutex
-	flipRng *randx.Stream
+	mu sync.Mutex
 	// queryLog, when enabled, records observed ECS source prefixes per
 	// domain (the ground truth behind the cloud ECS prefixes dataset).
 	logECS  bool
@@ -42,7 +41,6 @@ func New(seed randx.Seed, catalog []domains.Domain) *Server {
 		seed:    seed,
 		zones:   make(map[string]domains.Domain, len(catalog)),
 		addrs:   make(map[string]netx.Addr, len(catalog)),
-		flipRng: seed.New("authdns/flips"),
 		ecsSeen: make(map[string]map[netx.Prefix]int),
 	}
 	for i, d := range catalog {
@@ -104,30 +102,37 @@ func NaturalScope(seed randx.Seed, d domains.Domain, src netx.Prefix) netx.Prefi
 // flippedScope applies per-query scope instability around the natural
 // scope, bounded to the policy band (appendix A.2: 90% of response scopes
 // match the query exactly, 97% within 2, 99% within 4).
-func (s *Server) flippedScope(d domains.Domain, natural netx.Prefix) netx.Prefix {
-	s.mu.Lock()
-	flip := s.flipRng.Bool(d.Scope.FlipProb)
-	var delta int
-	if flip {
-		// Mostly ±1..2, occasionally further.
-		r := s.flipRng.Float64()
-		switch {
-		case r < 0.5:
-			delta = 1
-		case r < 0.8:
-			delta = 2
-		case r < 0.93:
-			delta = 3 + s.flipRng.Intn(2)
-		default:
-			delta = 5 + s.flipRng.Intn(4)
-		}
-		if s.flipRng.Bool(0.5) {
-			delta = -delta
-		}
-	}
-	s.mu.Unlock()
-	if delta == 0 {
+//
+// The flip is a pure hash of (domain, source prefix, transaction id), not
+// a draw from a shared RNG stream: a shared stream hands out flips in
+// arrival order, which would make response scopes depend on how a
+// concurrent pre-scan interleaves its queries. With the hash, a given
+// query always receives the same answer no matter when or from which
+// worker it arrives, and distinct transaction ids (which real stubs vary
+// per query) still sample the flip distribution.
+func (s *Server) flippedScope(d domains.Domain, natural, src netx.Prefix, qid uint16) netx.Prefix {
+	// Variable fields (qid, src) lead the key: FNV-1a mixes early bytes
+	// through every later round, so the constant suffix gives the short
+	// numeric differences full avalanche into HashUnit's high bits.
+	key := fmt.Sprintf("authdns/flip/%d/%s/%s", qid, src, d.Name)
+	if s.seed.HashUnit(key) >= d.Scope.FlipProb {
 		return natural
+	}
+	// Mostly ±1..2, occasionally further.
+	r := s.seed.HashUnit(key + "/mag")
+	var delta int
+	switch {
+	case r < 0.5:
+		delta = 1
+	case r < 0.8:
+		delta = 2
+	case r < 0.93:
+		delta = 3 + int(s.seed.Hash64(key+"/m2")%2)
+	default:
+		delta = 5 + int(s.seed.Hash64(key+"/m3")%4)
+	}
+	if s.seed.HashUnit(key+"/sign") < 0.5 {
+		delta = -delta
 	}
 	bits := natural.Bits() + delta
 	if bits < d.Scope.MinBits-4 {
@@ -184,7 +189,7 @@ func (s *Server) ServeDNS(_ context.Context, _ netx.Addr, q *dnswire.Message) *d
 	if ecs != nil && r.EDNS != nil && r.EDNS.ECS != nil {
 		if d.SupportsECS {
 			natural := NaturalScope(s.seed, d, ecs.SourcePrefix())
-			scope := s.flippedScope(d, natural)
+			scope := s.flippedScope(d, natural, ecs.SourcePrefix(), q.ID)
 			r.EDNS.ECS.ScopePrefixLen = uint8(scope.Bits())
 		} else {
 			r.EDNS.ECS.ScopePrefixLen = 0

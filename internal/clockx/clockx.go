@@ -6,6 +6,7 @@
 package clockx
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -73,4 +74,34 @@ func (s *Sim) Set(t time.Time) {
 	s.mu.Lock()
 	s.now = t
 	s.mu.Unlock()
+}
+
+// ctxKey carries a scheduled timestamp through a context.
+type ctxKey struct{}
+
+// WithTime returns a context carrying t as the query's scheduled send
+// time. The parallel probing engine computes every probe's timestamp up
+// front and attaches it here instead of mutating a shared Sim clock, so
+// concurrent workers never race on simulated time and every simulated
+// server sees the probe at the moment it was scheduled for, regardless of
+// the order workers actually issue probes in.
+func WithTime(ctx context.Context, t time.Time) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// TimeFrom reports the scheduled timestamp carried by ctx, if any.
+func TimeFrom(ctx context.Context) (time.Time, bool) {
+	t, ok := ctx.Value(ctxKey{}).(time.Time)
+	return t, ok
+}
+
+// NowIn resolves "now" for a request: the scheduled timestamp carried by
+// ctx when present, else c.Now(). Time-dependent simulated servers read
+// the clock through this so scheduled (parallel campaign) and unscheduled
+// (live, event-driven, test) queries share one code path.
+func NowIn(ctx context.Context, c Clock) time.Time {
+	if t, ok := TimeFrom(ctx); ok {
+		return t
+	}
+	return c.Now()
 }

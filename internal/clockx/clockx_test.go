@@ -1,6 +1,7 @@
 package clockx
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -54,6 +55,31 @@ func TestSimConcurrentAccess(t *testing.T) {
 	want := Epoch.Add(8 * 1000 * time.Millisecond)
 	if !s.Now().Equal(want) {
 		t.Errorf("Now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestContextTimeOverridesClock(t *testing.T) {
+	s := NewSim(time.Time{})
+	ctx := context.Background()
+
+	if _, ok := TimeFrom(ctx); ok {
+		t.Error("bare context carries a scheduled time")
+	}
+	if got := NowIn(ctx, s); !got.Equal(Epoch) {
+		t.Errorf("NowIn without override = %v, want clock time %v", got, Epoch)
+	}
+
+	at := Epoch.Add(7 * time.Hour)
+	ctx = WithTime(ctx, at)
+	if got, ok := TimeFrom(ctx); !ok || !got.Equal(at) {
+		t.Errorf("TimeFrom = %v,%v, want %v,true", got, ok, at)
+	}
+	if got := NowIn(ctx, s); !got.Equal(at) {
+		t.Errorf("NowIn with override = %v, want %v", got, at)
+	}
+	// The override never touches the clock itself.
+	if !s.Now().Equal(Epoch) {
+		t.Error("WithTime mutated the underlying clock")
 	}
 }
 

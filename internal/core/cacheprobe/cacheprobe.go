@@ -61,6 +61,11 @@ type Config struct {
 	// the Microsoft validation domain).
 	Domains []domains.Domain
 
+	// Workers bounds the per-PoP worker pool each campaign stage fans out
+	// on (0 or less = GOMAXPROCS; 1 = fully sequential). Results are
+	// bit-identical for any value — see Prober's concurrency model.
+	Workers int
+
 	// Redundancy is the number of copies of each probe, to cover the
 	// PoP's independent cache pools. Paper: 5.
 	Redundancy int

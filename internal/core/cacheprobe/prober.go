@@ -4,20 +4,35 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"clientmap/internal/clockx"
 	"clientmap/internal/dnswire"
 	"clientmap/internal/geo"
 	"clientmap/internal/netx"
+	"clientmap/internal/par"
 )
 
 // Prober executes campaigns.
+//
+// Concurrency model: stages fan out across PoPs (one worker per PoP) and,
+// within a PoP, across probe tasks (a pool of Config.Workers goroutines).
+// Results are bit-identical for any worker count because nothing a worker
+// does depends on what other workers have already done:
+//
+//   - every probe's simulated timestamp is computed from its (pass, task)
+//     position up front and carried on the context (clockx.WithTime), so
+//     workers never touch the shared Sim clock;
+//   - DNS transaction ids are content-derived hashes, not a shared counter;
+//   - workers write results only into their own index slot of a
+//     pre-allocated slice, and the slots are merged into the Campaign
+//     sequentially in the same (pass, sorted PoP, task index) order the
+//     sequential implementation used.
 type Prober struct {
 	cfg      Config
 	vantages []Vantage
 	auth     Authoritative
-	nextID   uint16
 }
 
 // NewProber builds a prober from vantage points and the authoritative
@@ -26,18 +41,46 @@ func NewProber(cfg Config, vantages []Vantage, auth Authoritative) *Prober {
 	return &Prober{cfg: cfg.withDefaults(), vantages: vantages, auth: auth}
 }
 
-func (p *Prober) id() uint16 {
-	p.nextID++
-	if p.nextID == 0 {
-		p.nextID = 1
+// workers is the intra-PoP pool size (Config.Workers, 0 = GOMAXPROCS).
+func (p *Prober) workers() int { return par.Workers(p.cfg.Workers) }
+
+// popFanout is the PoP-level worker count: one worker per PoP, except in
+// fully sequential mode (Workers=1), the reference behaviour every other
+// worker count must reproduce bit-for-bit.
+func (p *Prober) popFanout(pops int) int {
+	if p.workers() <= 1 {
+		return 1
 	}
-	return p.nextID
+	return pops
+}
+
+// txid derives the DNS transaction id for a probe from its content key and
+// redundancy attempt. A shared counter would hand out ids in arrival order
+// — racy under concurrency, and enough to change which cache pool a query
+// reaches. Hashing the content keeps ids deterministic for any worker
+// count; consecutive attempt numbers keep a redundancy burst spread across
+// a site's pools, which is the reason redundant copies exist (§3.1.1).
+func (p *Prober) txid(key string, attempt int) uint16 {
+	id := uint16(p.cfg.Seed.Hash64("cacheprobe/txid/"+key)) + uint16(attempt)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// scheduleCtx stamps ctx with the probe's scheduled time in simulation.
+// Live probing (real clock) keeps genuine arrival times instead.
+func (p *Prober) scheduleCtx(ctx context.Context, at time.Time) context.Context {
+	if _, isSim := p.cfg.Clock.(*clockx.Sim); isSim {
+		return clockx.WithTime(ctx, at)
+	}
+	return ctx
 }
 
 // snoop sends one non-recursive ECS probe and reports (hit, response
 // scope). Timeouts and errors count as misses, as in live probing.
-func (p *Prober) snoop(ctx context.Context, v *Vantage, domain string, scope netx.Prefix) (bool, netx.Prefix) {
-	q := dnswire.NewQuery(p.id(), domain, dnswire.TypeA).WithECS(scope)
+func (p *Prober) snoop(ctx context.Context, v *Vantage, id uint16, domain string, scope netx.Prefix) (bool, netx.Prefix) {
+	q := dnswire.NewQuery(id, domain, dnswire.TypeA).WithECS(scope)
 	q.RecursionDesired = false
 	resp, err := v.Exchanger.Exchange(ctx, v.Server, q)
 	if err != nil || resp == nil || len(resp.Answers) == 0 {
@@ -52,12 +95,13 @@ func (p *Prober) snoop(ctx context.Context, v *Vantage, domain string, scope net
 }
 
 // DiscoverPoPs maps each vantage to the PoP its anycast route reaches and
-// keeps one vantage per PoP (stage 1).
+// keeps one vantage per PoP (stage 1). The stage is a handful of queries,
+// one per vantage, and runs sequentially.
 func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) {
 	out := make(map[string]*Vantage)
 	for i := range p.vantages {
 		v := &p.vantages[i]
-		q := dnswire.NewQuery(p.id(), "o-o.myaddr.l.google.com", dnswire.TypeTXT)
+		q := dnswire.NewQuery(p.txid("discover/"+v.Name, 0), "o-o.myaddr.l.google.com", dnswire.TypeTXT)
 		resp, err := v.Exchanger.Exchange(ctx, v.Server, q)
 		if err != nil || resp == nil || len(resp.Answers) == 0 {
 			continue // vantage cannot reach the service
@@ -80,33 +124,66 @@ func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) 
 // PreScan queries the authoritative resolvers across the universe to learn
 // response scopes, skipping ahead by each returned scope (stage 2,
 // validated in appendix A.2). It returns per-domain sorted scope lists.
+//
+// The scan fans out over (domain, universe block) spans: the skip-ahead
+// walk is sequential within a block by nature (each response determines
+// the next query), but blocks and domains are independent of each other.
 func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
+	type span struct {
+		domain string
+		block  netx.Prefix
+	}
+	var spans []span
+	for _, d := range p.cfg.Domains {
+		if !d.SupportsECS {
+			continue
+		}
+		for _, block := range p.cfg.Universe {
+			spans = append(spans, span{domain: d.Name, block: block})
+		}
+	}
+
+	results := make([][]netx.Prefix, len(spans))
+	var queries atomic.Int64
+	par.ForEach(len(spans), p.workers(), func(i int) {
+		sp := spans[i]
+		var scopes []netx.Prefix
+		sent := 0
+		cur := uint32(sp.block.FirstSlash24())
+		end := cur + uint32(sp.block.NumSlash24s())
+		for cur < end {
+			s24 := netx.Slash24(cur)
+			id := p.txid(fmt.Sprintf("prescan/%s/%s", sp.domain, s24), 0)
+			q := dnswire.NewQuery(id, sp.domain, dnswire.TypeA).WithECS(s24.Prefix())
+			resp, err := p.auth.Exchanger.Exchange(ctx, p.auth.Server, q)
+			sent++
+			if err != nil || resp == nil || resp.EDNS == nil || resp.EDNS.ECS == nil {
+				cur++
+				continue
+			}
+			bits := int(resp.EDNS.ECS.ScopePrefixLen)
+			if bits == 0 || bits > 24 {
+				bits = 24
+			}
+			scope := netx.PrefixFrom(s24.Addr(), bits)
+			scopes = append(scopes, scope)
+			// Skip every /24 the returned scope covers.
+			cur = uint32(scope.FirstSlash24()) + uint32(scope.NumSlash24s())
+		}
+		results[i] = scopes
+		queries.Add(int64(sent))
+	})
+
+	// Merge the spans back per domain, in span order, then sort.
+	si := 0
 	for _, d := range p.cfg.Domains {
 		if !d.SupportsECS {
 			continue
 		}
 		var scopes []netx.Prefix
-		for _, block := range p.cfg.Universe {
-			cur := uint32(block.FirstSlash24())
-			end := cur + uint32(block.NumSlash24s())
-			for cur < end {
-				s24 := netx.Slash24(cur)
-				q := dnswire.NewQuery(p.id(), d.Name, dnswire.TypeA).WithECS(s24.Prefix())
-				resp, err := p.auth.Exchanger.Exchange(ctx, p.auth.Server, q)
-				camp.PreScanQueries++
-				if err != nil || resp == nil || resp.EDNS == nil || resp.EDNS.ECS == nil {
-					cur++
-					continue
-				}
-				bits := int(resp.EDNS.ECS.ScopePrefixLen)
-				if bits == 0 || bits > 24 {
-					bits = 24
-				}
-				scope := netx.PrefixFrom(s24.Addr(), bits)
-				scopes = append(scopes, scope)
-				// Skip every /24 the returned scope covers.
-				cur = uint32(scope.FirstSlash24()) + uint32(scope.NumSlash24s())
-			}
+		for range p.cfg.Universe {
+			scopes = append(scopes, results[si]...)
+			si++
 		}
 		sort.Slice(scopes, func(i, j int) bool {
 			if scopes[i].Addr() != scopes[j].Addr() {
@@ -116,6 +193,7 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 		})
 		camp.ScopesByDomain[d.Name] = scopes
 	}
+	camp.PreScanQueries += int(queries.Load())
 	return nil
 }
 
@@ -145,38 +223,56 @@ func (p *Prober) calibrationSample() []netx.Slash24 {
 
 // Calibrate probes the sample at every PoP with the non-Microsoft probe
 // domains and fits each PoP's service radius at the configured quantile
-// (stage 3, Figure 2).
+// (stage 3, Figure 2). PoPs calibrate concurrently, each walking its
+// sample with the intra-PoP worker pool; every calibration probe is
+// scheduled at the campaign start time.
 func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *Campaign) {
 	sample := p.calibrationSample()
-	popNames := make([]string, 0, len(pops))
-	for name := range pops {
-		popNames = append(popNames, name)
-	}
-	sort.Strings(popNames)
+	popNames := sortedPoPs(pops)
+	sctx := p.scheduleCtx(ctx, p.cfg.Clock.Now())
 
-	for _, pop := range popNames {
+	type calResult struct {
+		hit    bool
+		dist   float64
+		probes int
+	}
+	cals := make([]*PoPCalibration, len(popNames))
+	var probes atomic.Int64
+	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
+		pop := popNames[pi]
 		v := pops[pop]
 		cal := &PoPCalibration{PoP: pop, Vantage: v.Name}
-		for _, s := range sample {
+		res := make([]calResult, len(sample))
+		par.ForEach(len(sample), p.workers(), func(si int) {
+			s := sample[si]
 			loc, ok := p.cfg.GeoDB.Lookup(s)
 			if !ok {
-				continue
+				return
 			}
+			var r calResult
 			hit := false
 			for _, d := range p.cfg.Domains {
 				if d.Microsoft {
 					continue // calibration uses the Alexa picks only
 				}
-				for r := 0; r < p.cfg.Redundancy && !hit; r++ {
-					hit, _ = p.snoop(ctx, v, d.Name, s.Prefix())
-					camp.ProbesSent++
+				for a := 0; a < p.cfg.Redundancy && !hit; a++ {
+					id := p.txid(fmt.Sprintf("calib/%s/%s/%s", pop, s, d.Name), a)
+					hit, _ = p.snoop(sctx, v, id, d.Name, s.Prefix())
+					r.probes++
 				}
 				if hit {
 					break
 				}
 			}
 			if hit {
-				cal.HitDistancesKm = append(cal.HitDistancesKm, geo.DistanceKm(v.Coord, loc.Coord))
+				r.hit, r.dist = true, geo.DistanceKm(v.Coord, loc.Coord)
+			}
+			res[si] = r
+		})
+		for _, r := range res {
+			probes.Add(int64(r.probes))
+			if r.hit {
+				cal.HitDistancesKm = append(cal.HitDistancesKm, r.dist)
 			}
 		}
 		sort.Float64s(cal.HitDistancesKm)
@@ -195,8 +291,12 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 		if cal.RadiusKm > MaxServiceRadiusKm {
 			cal.RadiusKm = MaxServiceRadiusKm
 		}
-		camp.PoPs[pop] = cal
+		cals[pi] = cal
+	})
+	for pi, pop := range popNames {
+		camp.PoPs[pop] = cals[pi]
 	}
+	camp.ProbesSent += int(probes.Load())
 }
 
 // MaxServiceRadiusKm caps service radii when calibration yields no hits
@@ -223,27 +323,40 @@ func (p *Prober) scopeAssigned(scope netx.Prefix, popCoord geo.Coord, radiusKm f
 	return false
 }
 
+// probeTask is one (domain, scope) probe in a PoP's assignment.
+type probeTask struct {
+	domain string
+	scope  netx.Prefix
+}
+
+// probeResult is a worker's index-slotted outcome for one task.
+type probeResult struct {
+	hit       bool
+	respScope netx.Prefix
+	at        time.Time
+	probes    int
+}
+
 // Probe runs stage 4: every PoP probes its assigned scopes for every probe
 // domain, with redundant copies, looping Passes times across Duration.
 // PoP coordinates come from popCoords (discovered PoP name → location).
+//
+// Within a pass, PoPs probe concurrently and each PoP's tasks run on the
+// intra-PoP pool. Each task's probe time is its scheduled position in the
+// pass window (what the live rate limiter would produce), carried on the
+// context; results land in per-task slots and are merged into the
+// Campaign in (sorted PoP, task index) order once the pass's workers join.
 func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords map[string]geo.Coord, camp *Campaign) {
-	popNames := make([]string, 0, len(pops))
-	for name := range pops {
-		popNames = append(popNames, name)
-	}
-	sort.Strings(popNames)
-
+	popNames := sortedPoPs(pops)
 	sim, isSim := p.cfg.Clock.(*clockx.Sim)
 	start := p.cfg.Clock.Now()
 	passWindow := p.cfg.Duration / time.Duration(p.cfg.Passes)
 
-	// Build per-PoP assignments once.
-	type task struct {
-		domain string
-		scope  netx.Prefix
-	}
-	assignments := make(map[string][]task)
-	for _, pop := range popNames {
+	// Build per-PoP assignments once, concurrently across PoPs (pure
+	// reads of the geo database and pre-scan output).
+	assignments := make([][]probeTask, len(popNames))
+	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
+		pop := popNames[pi]
 		coord, ok := popCoords[pop]
 		if !ok {
 			coord = pops[pop].Coord // fall back to the vantage location
@@ -252,17 +365,19 @@ func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords 
 		if cal, ok := camp.PoPs[pop]; ok {
 			radius = cal.RadiusKm
 		}
-		var tasks []task
+		var tasks []probeTask
 		for _, d := range p.cfg.Domains {
 			for _, scope := range camp.ScopesByDomain[d.Name] {
 				if p.scopeAssigned(scope, coord, radius) {
-					tasks = append(tasks, task{domain: d.Name, scope: scope})
+					tasks = append(tasks, probeTask{domain: d.Name, scope: scope})
 				}
 			}
 		}
-		assignments[pop] = tasks
+		assignments[pi] = tasks
+	})
+	for pi, pop := range popNames {
 		if cal, ok := camp.PoPs[pop]; ok {
-			cal.Assigned = len(tasks)
+			cal.Assigned = len(assignments[pi])
 		}
 	}
 
@@ -270,31 +385,56 @@ func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords 
 	for pass := 0; pass < p.cfg.Passes; pass++ {
 		passStart := start.Add(time.Duration(pass) * passWindow)
 		camp.PassTimes = append(camp.PassTimes, passStart)
-		for _, pop := range popNames {
+		results := make([][]probeResult, len(popNames))
+		par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
+			pop := popNames[pi]
 			v := pops[pop]
-			tasks := assignments[pop]
-			for i, tk := range tasks {
-				if isSim {
-					// Schedule probes evenly across the pass window, as
-					// the live rate limiter would.
-					offset := time.Duration(float64(passWindow) * float64(i) / float64(len(tasks)+1))
-					sim.Set(passStart.Add(offset))
-				}
-				for r := 0; r < p.cfg.Redundancy; r++ {
-					hit, respScope := p.snoop(ctx, v, tk.domain, tk.scope)
-					camp.ProbesSent++
-					if !hit {
-						continue
+			tasks := assignments[pi]
+			res := make([]probeResult, len(tasks))
+			par.ForEach(len(tasks), p.workers(), func(ti int) {
+				tk := tasks[ti]
+				// Schedule probes evenly across the pass window, as the
+				// live rate limiter would.
+				offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
+				tctx := p.scheduleCtx(ctx, passStart.Add(offset))
+				var r probeResult
+				for a := 0; a < p.cfg.Redundancy; a++ {
+					id := p.txid(fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope), a)
+					hit, respScope := p.snoop(tctx, v, id, tk.domain, tk.scope)
+					r.probes++
+					if hit {
+						r.hit, r.respScope = true, respScope
+						r.at = clockx.NowIn(tctx, p.cfg.Clock)
+						break
 					}
-					p.recordHit(camp, pass, pop, tk.domain, tk.scope, respScope)
-					break
+				}
+				res[ti] = r
+			})
+			results[pi] = res
+		})
+		// Deterministic merge: replay the pass sequentially in sorted-PoP,
+		// task-index order — the order the sequential prober issued probes
+		// in, so first-hitting-PoP attribution and hit-time order match.
+		for pi, pop := range popNames {
+			tasks := assignments[pi]
+			for ti, r := range results[pi] {
+				camp.ProbesSent += r.probes
+				if r.hit {
+					p.recordHit(camp, pass, pop, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
 				}
 			}
 		}
 	}
+	if isSim {
+		// The sequential prober left the Sim clock where its last scheduled
+		// probe put it; the parallel one never moves it mid-run, so place
+		// it at the campaign end for everything downstream that reads
+		// "time after the campaign".
+		sim.Set(start.Add(p.cfg.Duration))
+	}
 }
 
-func (p *Prober) recordHit(camp *Campaign, pass int, pop, domain string, queryScope, respScope netx.Prefix) {
+func (p *Prober) recordHit(camp *Campaign, pass int, pop, domain string, queryScope, respScope netx.Prefix, at time.Time) {
 	hits := camp.Hits[domain]
 	if hits == nil {
 		hits = make(map[netx.Prefix]*Hit)
@@ -310,7 +450,7 @@ func (p *Prober) recordHit(camp *Campaign, pass int, pop, domain string, querySc
 	if pass >= 0 && pass < 64 {
 		h.PassMask |= 1 << uint(pass)
 	}
-	h.Times = append(h.Times, p.cfg.Clock.Now())
+	h.Times = append(h.Times, at)
 
 	diff := respScope.Bits() - queryScope.Bits()
 	if diff < 0 {
@@ -322,6 +462,17 @@ func (p *Prober) recordHit(camp *Campaign, pass int, pop, domain string, querySc
 		camp.ScopeDiffs[domain] = dd
 	}
 	dd[diff]++
+}
+
+// sortedPoPs returns the PoP names in sorted order — the canonical
+// iteration order every stage and merge uses.
+func sortedPoPs(pops map[string]*Vantage) []string {
+	names := make([]string, 0, len(pops))
+	for name := range pops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Run executes all four stages and returns the campaign results.

@@ -17,6 +17,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/core/datasets"
 	"clientmap/internal/core/dnslogs"
+	"clientmap/internal/par"
 	"clientmap/internal/randx"
 	"clientmap/internal/roots"
 	"clientmap/internal/routeviews"
@@ -48,6 +49,10 @@ type Config struct {
 	TraceDir string
 	// PerSourceHourCap bounds trace size (see roots.GenConfig).
 	PerSourceHourCap int
+	// Workers bounds the campaign's per-PoP probe worker pools (0 =
+	// GOMAXPROCS, 1 = sequential). Any value produces identical results;
+	// see cacheprobe.Config.Workers.
+	Workers int
 }
 
 // DefaultConfig returns a paper-faithful configuration at the given scale.
@@ -80,10 +85,19 @@ type Results struct {
 	ASCacheProbe, ASDNSLogs, ASUnion, ASAPNIC, ASMSClients, ASMSResolvers *datasets.ASDataset
 }
 
-// Run executes the full evaluation.
+// Run executes the full evaluation. The three independent pipeline stages
+// — the cache-probing campaign, the DITL trace generation + DNS-logs
+// crawl, and the comparison-dataset collections (CDN, APNIC, ASdb) — run
+// concurrently. Every stage's time anchor is computed from the campaign
+// window up front rather than read off the shared simulated clock
+// mid-run, so the stages observe the same timeline no matter how the
+// scheduler interleaves them: the trace collection ends when the campaign
+// ends, and the CDN collection covers the campaign's final day.
 func Run(cfg Config) (*Results, error) {
 	if cfg.CampaignDuration <= 0 {
+		workers := cfg.Workers
 		cfg = DefaultConfig(cfg.Seed, cfg.Scale)
+		cfg.Workers = workers
 	}
 	sys, err := sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
@@ -91,17 +105,9 @@ func Run(cfg Config) (*Results, error) {
 	}
 	res := &Results{Cfg: cfg, Sys: sys, RV: sys.RV}
 
-	// Technique 1: cache probing.
-	pcfg := sys.ProberConfig()
-	pcfg.Duration = cfg.CampaignDuration
-	pcfg.Passes = cfg.Passes
-	camp, err := sys.Prober(pcfg).Run(noCtx(), sys.PoPCoords())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: cache probing: %w", err)
-	}
-	res.Campaign = camp
+	campStart := sys.Clock.Now()
+	campEnd := campStart.Add(cfg.CampaignDuration)
 
-	// Technique 2: DNS logs over generated DITL traces.
 	dir := cfg.TraceDir
 	if dir == "" {
 		dir, err = os.MkdirTemp("", "clientmap-ditl-")
@@ -110,29 +116,57 @@ func Run(cfg Config) (*Results, error) {
 		}
 		defer os.RemoveAll(dir)
 	}
-	gen := roots.NewGenerator(sys.Model)
-	_, err = gen.Generate(roots.GenConfig{
-		Start:            sys.Clock.Now().Add(-cfg.TraceDuration),
-		Duration:         cfg.TraceDuration,
-		PerSourceHourCap: cfg.PerSourceHourCap,
-	}, func(letter string) (io.WriteCloser, error) {
-		return os.Create(filepath.Join(dir, "root-"+letter+".ditl"))
+
+	var g par.Group
+
+	// Technique 1: cache probing.
+	g.Go(func() error {
+		pcfg := sys.ProberConfig()
+		pcfg.Duration = cfg.CampaignDuration
+		pcfg.Passes = cfg.Passes
+		pcfg.Workers = cfg.Workers
+		camp, err := sys.Prober(pcfg).Run(noCtx(), sys.PoPCoords())
+		if err != nil {
+			return fmt.Errorf("experiments: cache probing: %w", err)
+		}
+		res.Campaign = camp
+		return nil
 	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: trace generation: %w", err)
-	}
-	res.DNSLogs, err = dnslogs.Crawl(dnslogs.Config{}, func(letter string) (io.ReadCloser, error) {
-		return os.Open(filepath.Join(dir, "root-"+letter+".ditl"))
+
+	// Technique 2: DNS logs over generated DITL traces.
+	g.Go(func() error {
+		gen := roots.NewGenerator(sys.Model)
+		_, err := gen.Generate(roots.GenConfig{
+			Start:            campEnd.Add(-cfg.TraceDuration),
+			Duration:         cfg.TraceDuration,
+			PerSourceHourCap: cfg.PerSourceHourCap,
+		}, func(letter string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(dir, "root-"+letter+".ditl"))
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: trace generation: %w", err)
+		}
+		res.DNSLogs, err = dnslogs.Crawl(dnslogs.Config{}, func(letter string) (io.ReadCloser, error) {
+			return os.Open(filepath.Join(dir, "root-"+letter+".ditl"))
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: dns logs: %w", err)
+		}
+		return nil
 	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: dns logs: %w", err)
-	}
 
 	// Comparison datasets: one day of CDN collections, APNIC estimates,
 	// ASdb categories.
-	res.CDN = cdn.Collect(sys.Model, sys.Clock.Now().Add(-24*time.Hour))
-	res.APNIC = apnic.Estimate(sys.World, apnic.Config{})
-	res.ASDB = asdb.FromWorld(sys.World, asdb.DefaultCoverage)
+	g.Go(func() error {
+		res.CDN = cdn.Collect(sys.Model, campEnd.Add(-24*time.Hour))
+		res.APNIC = apnic.Estimate(sys.World, apnic.Config{})
+		res.ASDB = asdb.FromWorld(sys.World, asdb.DefaultCoverage)
+		return nil
+	})
+
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
 
 	res.buildViews()
 	return res, nil

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"clientmap/internal/randx"
+	"clientmap/internal/world"
+)
+
+// TestParallelDeterminism: the worker count is a pure throughput knob. A
+// fully sequential run (Workers=1) and a heavily parallel one (Workers=8)
+// over the same seed must produce the same Campaign down to individual
+// hit timestamps, the same scope-diff tables, and the same headline
+// statistics — the guarantee the parallel probing engine is built around.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := DefaultConfig(randx.Seed(424), world.ScaleTiny)
+	cfg.CampaignDuration = 24 * time.Hour
+	cfg.Passes = 3
+	cfg.TraceDuration = 6 * time.Hour
+
+	cfg.Workers = 1
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, pc := seq.Campaign, par.Campaign
+	if sc.ProbesSent != pc.ProbesSent {
+		t.Errorf("ProbesSent: sequential %d, parallel %d", sc.ProbesSent, pc.ProbesSent)
+	}
+	if sc.PreScanQueries != pc.PreScanQueries {
+		t.Errorf("PreScanQueries: sequential %d, parallel %d", sc.PreScanQueries, pc.PreScanQueries)
+	}
+	if !reflect.DeepEqual(sc.ScopesByDomain, pc.ScopesByDomain) {
+		t.Error("pre-scan scope lists differ")
+	}
+	if !reflect.DeepEqual(sc.ScopeDiffs, pc.ScopeDiffs) {
+		t.Error("scope-diff tables differ")
+	}
+	if !reflect.DeepEqual(sc.PoPHits, pc.PoPHits) {
+		t.Error("per-PoP hit counts differ")
+	}
+	if !reflect.DeepEqual(sc.PassTimes, pc.PassTimes) {
+		t.Error("pass times differ")
+	}
+	for pop, a := range sc.PoPs {
+		b := pc.PoPs[pop]
+		if b == nil || a.RadiusKm != b.RadiusKm || a.Assigned != b.Assigned ||
+			!reflect.DeepEqual(a.HitDistancesKm, b.HitDistancesKm) {
+			t.Errorf("PoP %s calibration differs", pop)
+		}
+	}
+
+	// Hits must match per (domain, response scope) down to the evidence:
+	// count, pass mask, attributed PoP, and every hit timestamp.
+	if len(sc.Hits) != len(pc.Hits) {
+		t.Fatalf("hit domains: sequential %d, parallel %d", len(sc.Hits), len(pc.Hits))
+	}
+	for domain, shits := range sc.Hits {
+		phits := pc.Hits[domain]
+		if len(shits) != len(phits) {
+			t.Errorf("%s: %d vs %d hit scopes", domain, len(shits), len(phits))
+			continue
+		}
+		for scope, sh := range shits {
+			ph, ok := phits[scope]
+			if !ok {
+				t.Errorf("%s: scope %v only in sequential run", domain, scope)
+				continue
+			}
+			if sh.Count != ph.Count || sh.PassMask != ph.PassMask || sh.PoP != ph.PoP ||
+				sh.QueryScope != ph.QueryScope || !reflect.DeepEqual(sh.Times, ph.Times) {
+				t.Errorf("%s %v: hit evidence differs:\nseq %+v\npar %+v", domain, scope, sh, ph)
+			}
+		}
+	}
+
+	if !seq.PfxCacheProbe.Set.Equal(par.PfxCacheProbe.Set) {
+		t.Error("cache-probing prefix sets differ")
+	}
+	if !seq.PfxDNSLogs.Set.Equal(par.PfxDNSLogs.Set) {
+		t.Error("dns-logs prefix sets differ")
+	}
+	if hs, hp := seq.ComputeHeadline(), par.ComputeHeadline(); hs != hp {
+		t.Errorf("headlines differ:\nseq %+v\npar %+v", hs, hp)
+	}
+}

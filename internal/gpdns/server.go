@@ -168,9 +168,23 @@ func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Messag
 		src = q.EDNS.ECS.SourcePrefix()
 	}
 
-	now := s.cfg.Clock.Now()
+	now := clockx.NowIn(ctx, s.cfg.Clock)
 	st := s.sites[popIdx]
-	poolIdx := int(s.poolCtr.Add(1)) % len(st.pools)
+	// Pool selection. The front end sprays queries across a site's pools.
+	// For scheduled queries (the parallel campaign attaches the probe's
+	// timestamp to ctx) the pool must be a pure function of the query, or
+	// the set of pools a redundancy burst covers would depend on how
+	// concurrent workers interleave: hash the transaction id, which the
+	// prober varies per attempt exactly so bursts spread over pools.
+	// Unscheduled traffic (live mode, event-driven fills, tests) keeps the
+	// round-robin counter, which models the same spray for callers that
+	// arrive one at a time.
+	var poolIdx int
+	if _, scheduled := clockx.TimeFrom(ctx); scheduled {
+		poolIdx = int(q.ID) % len(st.pools)
+	} else {
+		poolIdx = int(s.poolCtr.Add(1)) % len(st.pools)
+	}
 	p := st.pools[poolIdx]
 
 	if e, ok := p.lookup(qq.Name, src, now); ok {
@@ -235,6 +249,14 @@ func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Messag
 // queries time out (nil response).
 func (s *Server) UDP() dnsnet.Handler {
 	return dnsnet.HandlerFunc(func(ctx context.Context, from netx.Addr, q *dnswire.Message) *dnswire.Message {
+		if _, scheduled := clockx.TimeFrom(ctx); scheduled {
+			// Scheduled queries are paced by construction (the prober
+			// spreads them across the pass window before issuing any), and
+			// a token bucket consulted in worker order would admit a
+			// different subset on every run. Rate conformance for the
+			// campaign is enforced by the schedule, not re-checked here.
+			return s.ServeDNS(ctx, from, q)
+		}
 		key := fmt.Sprintf("%v|%s", from, q.Question().Name)
 		s.mu.Lock()
 		lim, ok := s.udpLims[key]
@@ -254,6 +276,10 @@ func (s *Server) UDP() dnsnet.Handler {
 // TCP returns the handler with the per-source TCP limit (~1,500 QPS).
 func (s *Server) TCP() dnsnet.Handler {
 	return dnsnet.HandlerFunc(func(ctx context.Context, from netx.Addr, q *dnswire.Message) *dnswire.Message {
+		if _, scheduled := clockx.TimeFrom(ctx); scheduled {
+			// See UDP(): schedule-paced queries skip arrival-order buckets.
+			return s.ServeDNS(ctx, from, q)
+		}
 		s.mu.Lock()
 		lim, ok := s.tcpLims[from]
 		if !ok {

@@ -1,0 +1,56 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		out := make([]int32, n)
+		ForEach(n, Workers(workers), func(i int) { atomic.AddInt32(&out[i], 1) })
+		for i, v := range out {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndOne(t *testing.T) {
+	calls := 0
+	ForEach(0, 4, func(int) { calls++ })
+	if calls != 0 {
+		t.Errorf("n=0 made %d calls", calls)
+	}
+	ForEach(1, 4, func(i int) { calls += i + 1 })
+	if calls != 1 {
+		t.Errorf("n=1: calls=%d", calls)
+	}
+}
+
+func TestGroupFirstError(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	g.Go(func() error { return nil })
+	g.Go(func() error { return want })
+	if err := g.Wait(); err != want {
+		t.Errorf("Wait = %v, want %v", err, want)
+	}
+	var ok Group
+	ok.Go(func() error { return nil })
+	if err := ok.Wait(); err != nil {
+		t.Errorf("Wait = %v, want nil", err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("Workers must be at least 1")
+	}
+	if Workers(5) != 5 {
+		t.Error("explicit worker count not preserved")
+	}
+}

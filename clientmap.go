@@ -74,6 +74,18 @@ type Config struct {
 	// Workers bounds the probing campaign's worker pools (0 = one per
 	// CPU, 1 = sequential). The worker count never changes results.
 	Workers int
+	// StateDir is the pipeline checkpoint directory. When set, every
+	// completed stage (the scope pre-scan, the calibration, each probing
+	// pass, the DITL crawl, the baselines, the dataset views) persists
+	// its artifact there; empty keeps the whole run in memory.
+	StateDir string
+	// Resume reuses checkpoints in StateDir whose fingerprints match
+	// this configuration, skipping the stages that produced them — how
+	// an interrupted campaign picks up where it was killed.
+	Resume bool
+	// Log receives stage progress lines (which stages ran, which were
+	// restored); nil discards them.
+	Log func(format string, args ...any)
 }
 
 // Evaluation is a completed run: both techniques plus all baseline
@@ -99,6 +111,9 @@ func Run(cfg Config) (*Evaluation, error) {
 		ecfg.TraceDuration = time.Duration(cfg.TraceHours) * time.Hour
 	}
 	ecfg.Workers = cfg.Workers
+	ecfg.StateDir = cfg.StateDir
+	ecfg.Resume = cfg.Resume
+	ecfg.Log = cfg.Log
 	res, err := experiments.Run(ecfg)
 	if err != nil {
 		return nil, err

@@ -28,13 +28,22 @@ func main() {
 		prefix   = flag.String("prefix", "", "look up client activity for this CIDR prefix")
 		asn      = flag.Uint("asn", 0, "look up client activity for this AS number")
 		workers  = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
+		stateDir = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
+		resume   = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
 		report   = flag.Bool("report", false, "print the full evaluation report")
 		coverage = flag.Bool("coverage", false, "print per-country user coverage")
 		headline = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
 	)
 	flag.Parse()
 
-	eval, err := clientmap.Run(clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers})
+	if *resume && *stateDir == "" {
+		log.Fatal("-resume requires -state-dir")
+	}
+	ccfg := clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers, StateDir: *stateDir, Resume: *resume}
+	if *stateDir != "" {
+		ccfg.Log = log.Printf
+	}
+	eval, err := clientmap.Run(ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}

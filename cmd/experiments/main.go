@@ -34,6 +34,8 @@ func main() {
 		traceH   = flag.Int("trace-hours", 48, "DITL trace duration")
 		workers  = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
 		csvDir   = flag.String("csvdir", "", "export every table and figure as CSV into this directory")
+		stateDir = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
+		resume   = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
 	)
 	flag.Parse()
 
@@ -51,6 +53,14 @@ func main() {
 	cfg.Passes = *passes
 	cfg.TraceDuration = time.Duration(*traceH) * time.Hour
 	cfg.Workers = *workers
+	cfg.StateDir = *stateDir
+	cfg.Resume = *resume
+	if *stateDir != "" {
+		cfg.Log = log.Printf
+	}
+	if *resume && *stateDir == "" {
+		log.Fatal("-resume requires -state-dir")
+	}
 
 	start := time.Now()
 	log.Printf("running full evaluation (scale=%s seed=%d)...", *scale, *seed)

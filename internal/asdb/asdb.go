@@ -48,6 +48,40 @@ func itoa(v uint32) string {
 	return string(b[i:])
 }
 
+// FromCategories builds a database directly from an ASN → category map,
+// the constructor the snapshot codec restores checkpoints through.
+func FromCategories(m map[uint32]world.Category) *DB {
+	db := &DB{categories: make(map[uint32]world.Category, len(m))}
+	for asn, c := range m {
+		db.categories[asn] = c
+	}
+	return db
+}
+
+// Range calls fn for every categorized AS until fn returns false.
+// Iteration order is unspecified; callers needing determinism must sort.
+func (db *DB) Range(fn func(asn uint32, c world.Category) bool) {
+	for asn, c := range db.categories {
+		if !fn(asn, c) {
+			return
+		}
+	}
+}
+
+// Equal reports whether two databases categorize exactly the same ASes
+// identically (used by checkpoint round-trip tests).
+func (db *DB) Equal(other *DB) bool {
+	if len(db.categories) != len(other.categories) {
+		return false
+	}
+	for asn, c := range db.categories {
+		if oc, ok := other.categories[asn]; !ok || oc != c {
+			return false
+		}
+	}
+	return true
+}
+
 // Category returns the category recorded for asn, if categorized.
 func (db *DB) Category(asn uint32) (world.Category, bool) {
 	c, ok := db.categories[asn]

@@ -185,6 +185,21 @@ type Campaign struct {
 	PreScanQueries int
 }
 
+// NewCampaign returns an empty campaign with every collection
+// initialized, ready for the stages (PreScan, Calibrate, ProbePass) to
+// fill incrementally. The staged pipeline checkpoints this value between
+// stages; a decoded checkpoint and a freshly filled campaign are
+// indistinguishable to the stages that consume them.
+func NewCampaign() *Campaign {
+	return &Campaign{
+		PoPs:           make(map[string]*PoPCalibration),
+		ScopesByDomain: make(map[string][]netx.Prefix),
+		Hits:           make(map[string]map[netx.Prefix]*Hit),
+		ScopeDiffs:     make(map[string]map[int]int),
+		PoPHits:        make(map[string]int),
+	}
+}
+
 // ActiveScopes returns the deduplicated set of response-scope prefixes
 // with hits across all domains (scope 0 excluded by construction).
 func (c *Campaign) ActiveScopes() []netx.Prefix {

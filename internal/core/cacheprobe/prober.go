@@ -337,23 +337,22 @@ type probeResult struct {
 	probes    int
 }
 
-// Probe runs stage 4: every PoP probes its assigned scopes for every probe
-// domain, with redundant copies, looping Passes times across Duration.
-// PoP coordinates come from popCoords (discovered PoP name → location).
-//
-// Within a pass, PoPs probe concurrently and each PoP's tasks run on the
-// intra-PoP pool. Each task's probe time is its scheduled position in the
-// pass window (what the live rate limiter would produce), carried on the
-// context; results land in per-task slots and are merged into the
-// Campaign in (sorted PoP, task index) order once the pass's workers join.
-func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords map[string]geo.Coord, camp *Campaign) {
-	popNames := sortedPoPs(pops)
-	sim, isSim := p.cfg.Clock.(*clockx.Sim)
-	start := p.cfg.Clock.Now()
-	passWindow := p.cfg.Duration / time.Duration(p.cfg.Passes)
+// Assignments is the stage-4 probe plan: per-PoP task lists derived from
+// the pre-scan scopes and calibration radii. It is a pure function of the
+// campaign state, so a resumed run rebuilds it rather than persisting it.
+type Assignments struct {
+	popNames []string
+	tasks    [][]probeTask
+}
 
-	// Build per-PoP assignments once, concurrently across PoPs (pure
-	// reads of the geo database and pre-scan output).
+// BuildAssignments computes every PoP's probe assignment (the scopes
+// MaxMind places possibly within its service radius, per domain) and
+// records the per-PoP assignment sizes on the campaign. PoP coordinates
+// come from popCoords (discovered PoP name → location).
+func (p *Prober) BuildAssignments(pops map[string]*Vantage, popCoords map[string]geo.Coord, camp *Campaign) *Assignments {
+	popNames := sortedPoPs(pops)
+	// Build per-PoP assignments concurrently across PoPs (pure reads of
+	// the geo database and pre-scan output).
 	assignments := make([][]probeTask, len(popNames))
 	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
 		pop := popNames[pi]
@@ -380,58 +379,90 @@ func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords 
 			cal.Assigned = len(assignments[pi])
 		}
 	}
+	return &Assignments{popNames: popNames, tasks: assignments}
+}
 
+// ProbePass runs one assignment loop (pass) of stage 4 and merges its
+// results into the campaign — the pipeline's checkpoint boundary: the
+// campaign state after pass k is a durable artifact, and a killed run
+// resumes at pass k+1. start is the campaign start time (pass windows
+// are computed from it, independent of the current clock reading, so a
+// resumed process reproduces the original schedule exactly).
+//
+// Within a pass, PoPs probe concurrently and each PoP's tasks run on the
+// intra-PoP pool. Each task's probe time is its scheduled position in the
+// pass window (what the live rate limiter would produce), carried on the
+// context; results land in per-task slots and are merged into the
+// Campaign in (sorted PoP, task index) order once the pass's workers join.
+func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *Assignments, pass int, start time.Time, camp *Campaign) {
+	popNames := asg.popNames
+	passWindow := p.cfg.Duration / time.Duration(p.cfg.Passes)
 	camp.Passes = p.cfg.Passes
-	for pass := 0; pass < p.cfg.Passes; pass++ {
-		passStart := start.Add(time.Duration(pass) * passWindow)
-		camp.PassTimes = append(camp.PassTimes, passStart)
-		results := make([][]probeResult, len(popNames))
-		par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
-			pop := popNames[pi]
-			v := pops[pop]
-			tasks := assignments[pi]
-			res := make([]probeResult, len(tasks))
-			par.ForEach(len(tasks), p.workers(), func(ti int) {
-				tk := tasks[ti]
-				// Schedule probes evenly across the pass window, as the
-				// live rate limiter would.
-				offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
-				tctx := p.scheduleCtx(ctx, passStart.Add(offset))
-				var r probeResult
-				for a := 0; a < p.cfg.Redundancy; a++ {
-					id := p.txid(fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope), a)
-					hit, respScope := p.snoop(tctx, v, id, tk.domain, tk.scope)
-					r.probes++
-					if hit {
-						r.hit, r.respScope = true, respScope
-						r.at = clockx.NowIn(tctx, p.cfg.Clock)
-						break
-					}
+
+	passStart := start.Add(time.Duration(pass) * passWindow)
+	camp.PassTimes = append(camp.PassTimes, passStart)
+	results := make([][]probeResult, len(popNames))
+	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
+		pop := popNames[pi]
+		v := pops[pop]
+		tasks := asg.tasks[pi]
+		res := make([]probeResult, len(tasks))
+		par.ForEach(len(tasks), p.workers(), func(ti int) {
+			tk := tasks[ti]
+			// Schedule probes evenly across the pass window, as the
+			// live rate limiter would.
+			offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
+			tctx := p.scheduleCtx(ctx, passStart.Add(offset))
+			var r probeResult
+			for a := 0; a < p.cfg.Redundancy; a++ {
+				id := p.txid(fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope), a)
+				hit, respScope := p.snoop(tctx, v, id, tk.domain, tk.scope)
+				r.probes++
+				if hit {
+					r.hit, r.respScope = true, respScope
+					r.at = clockx.NowIn(tctx, p.cfg.Clock)
+					break
 				}
-				res[ti] = r
-			})
-			results[pi] = res
+			}
+			res[ti] = r
 		})
-		// Deterministic merge: replay the pass sequentially in sorted-PoP,
-		// task-index order — the order the sequential prober issued probes
-		// in, so first-hitting-PoP attribution and hit-time order match.
-		for pi, pop := range popNames {
-			tasks := assignments[pi]
-			for ti, r := range results[pi] {
-				camp.ProbesSent += r.probes
-				if r.hit {
-					p.recordHit(camp, pass, pop, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
-				}
+		results[pi] = res
+	})
+	// Deterministic merge: replay the pass sequentially in sorted-PoP,
+	// task-index order — the order the sequential prober issued probes
+	// in, so first-hitting-PoP attribution and hit-time order match.
+	for pi, pop := range popNames {
+		tasks := asg.tasks[pi]
+		for ti, r := range results[pi] {
+			camp.ProbesSent += r.probes
+			if r.hit {
+				p.recordHit(camp, pass, pop, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
 			}
 		}
 	}
-	if isSim {
-		// The sequential prober left the Sim clock where its last scheduled
-		// probe put it; the parallel one never moves it mid-run, so place
-		// it at the campaign end for everything downstream that reads
-		// "time after the campaign".
+}
+
+// FinishProbing places the simulated clock at the campaign end, for
+// everything downstream that reads "time after the campaign". The
+// sequential prober left the Sim clock where its last scheduled probe put
+// it; the staged one never moves it mid-run. Real clocks are untouched.
+func (p *Prober) FinishProbing(start time.Time) {
+	if sim, ok := p.cfg.Clock.(*clockx.Sim); ok {
 		sim.Set(start.Add(p.cfg.Duration))
 	}
+}
+
+// Probe runs stage 4 end to end: every PoP probes its assigned scopes for
+// every probe domain, with redundant copies, looping Passes times across
+// Duration. It is BuildAssignments + ProbePass×Passes + FinishProbing in
+// one call, for callers that do not need per-pass checkpoints.
+func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords map[string]geo.Coord, camp *Campaign) {
+	start := p.cfg.Clock.Now()
+	asg := p.BuildAssignments(pops, popCoords, camp)
+	for pass := 0; pass < p.cfg.Passes; pass++ {
+		p.ProbePass(ctx, pops, asg, pass, start, camp)
+	}
+	p.FinishProbing(start)
 }
 
 func (p *Prober) recordHit(camp *Campaign, pass int, pop, domain string, queryScope, respScope netx.Prefix, at time.Time) {
@@ -479,13 +510,7 @@ func sortedPoPs(pops map[string]*Vantage) []string {
 // popCoords supplies PoP locations for assignment (from the public PoP
 // catalog, as the paper does).
 func (p *Prober) Run(ctx context.Context, popCoords map[string]geo.Coord) (*Campaign, error) {
-	camp := &Campaign{
-		PoPs:           make(map[string]*PoPCalibration),
-		ScopesByDomain: make(map[string][]netx.Prefix),
-		Hits:           make(map[string]map[netx.Prefix]*Hit),
-		ScopeDiffs:     make(map[string]map[int]int),
-		PoPHits:        make(map[string]int),
-	}
+	camp := NewCampaign()
 	pops, err := p.DiscoverPoPs(ctx)
 	if err != nil {
 		return nil, err

@@ -2,13 +2,16 @@
 // simulated measurement environment, runs both techniques and the
 // comparison dataset collections, and computes every table and figure of
 // the paper (Tables 1-5, Figures 1-7, and the headline statistics of §4).
+//
+// The evaluation runs as a staged pipeline (internal/pipeline): every
+// expensive step — the scope pre-scan, the calibration, each probing
+// pass, the DITL crawl, the baseline collections, the derived dataset
+// views — checkpoints its artifact into Config.StateDir, and a run with
+// Config.Resume picks up from whatever checkpoints match the current
+// configuration. See stages.go for the stage graph.
 package experiments
 
 import (
-	"fmt"
-	"io"
-	"os"
-	"path/filepath"
 	"time"
 
 	"clientmap/internal/apnic"
@@ -17,9 +20,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/core/datasets"
 	"clientmap/internal/core/dnslogs"
-	"clientmap/internal/par"
 	"clientmap/internal/randx"
-	"clientmap/internal/roots"
 	"clientmap/internal/routeviews"
 	"clientmap/internal/sim"
 	"clientmap/internal/world"
@@ -45,14 +46,30 @@ type Config struct {
 	Passes int
 	// TraceDuration is the DITL collection length (paper: 2 days).
 	TraceDuration time.Duration
-	// TraceDir holds generated root traces; empty means a temp dir.
+	// TraceDir holds generated root traces; empty means StateDir/traces
+	// when StateDir is set, else a temp dir.
 	TraceDir string
 	// PerSourceHourCap bounds trace size (see roots.GenConfig).
 	PerSourceHourCap int
 	// Workers bounds the campaign's per-PoP probe worker pools (0 =
 	// GOMAXPROCS, 1 = sequential). Any value produces identical results;
-	// see cacheprobe.Config.Workers.
+	// see cacheprobe.Config.Workers. Deliberately absent from stage
+	// fingerprints for the same reason.
 	Workers int
+
+	// StateDir is the pipeline checkpoint directory; empty disables
+	// checkpointing (the whole run happens in memory, as before).
+	StateDir string
+	// Resume reuses checkpoints in StateDir whose fingerprints match the
+	// current configuration, skipping the stages that produced them.
+	Resume bool
+	// StopAfter aborts the run right after the named stage checkpoints
+	// (see stages.go for names) — the test stand-in for a mid-campaign
+	// kill. Run returns pipeline.ErrStopped.
+	StopAfter string
+	// Log receives stage progress lines ("stage probe-pass-3: restored
+	// checkpoint … — skipped"); nil discards them.
+	Log func(format string, args ...any)
 }
 
 // DefaultConfig returns a paper-faithful configuration at the given scale.
@@ -65,6 +82,28 @@ func DefaultConfig(seed randx.Seed, scale world.Scale) Config {
 		TraceDuration:    48 * time.Hour,
 		PerSourceHourCap: 8,
 	}
+}
+
+// withDefaults fills unset knobs field by field from DefaultConfig.
+// Run used to swap in the whole default configuration whenever
+// CampaignDuration was zero, silently discarding any Passes,
+// TraceDuration, TraceDir or PerSourceHourCap the caller had set; each
+// field now defaults independently.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Seed, c.Scale)
+	if c.CampaignDuration <= 0 {
+		c.CampaignDuration = d.CampaignDuration
+	}
+	if c.Passes <= 0 {
+		c.Passes = d.Passes
+	}
+	if c.TraceDuration <= 0 {
+		c.TraceDuration = d.TraceDuration
+	}
+	if c.PerSourceHourCap <= 0 {
+		c.PerSourceHourCap = d.PerSourceHourCap
+	}
+	return c
 }
 
 // Results bundles everything a run produced.
@@ -85,89 +124,34 @@ type Results struct {
 	ASCacheProbe, ASDNSLogs, ASUnion, ASAPNIC, ASMSClients, ASMSResolvers *datasets.ASDataset
 }
 
-// Run executes the full evaluation. The three independent pipeline stages
-// — the cache-probing campaign, the DITL trace generation + DNS-logs
-// crawl, and the comparison-dataset collections (CDN, APNIC, ASdb) — run
-// concurrently. Every stage's time anchor is computed from the campaign
-// window up front rather than read off the shared simulated clock
-// mid-run, so the stages observe the same timeline no matter how the
-// scheduler interleaves them: the trace collection ends when the campaign
-// ends, and the CDN collection covers the campaign's final day.
+// Run executes the full evaluation as a staged pipeline. The three
+// independent chains — the cache-probing campaign, the DITL trace
+// generation + DNS-logs crawl, and the comparison-dataset collections
+// (CDN, APNIC, ASdb) — run concurrently, and every persisted stage
+// checkpoints into cfg.StateDir (when set) so an interrupted run resumes
+// instead of restarting; see newStagedRun for the graph and the
+// determinism argument.
 func Run(cfg Config) (*Results, error) {
-	if cfg.CampaignDuration <= 0 {
-		workers := cfg.Workers
-		cfg = DefaultConfig(cfg.Seed, cfg.Scale)
-		cfg.Workers = workers
-	}
-	sys, err := sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
-	if err != nil {
-		return nil, err
-	}
-	res := &Results{Cfg: cfg, Sys: sys, RV: sys.RV}
-
-	campStart := sys.Clock.Now()
-	campEnd := campStart.Add(cfg.CampaignDuration)
-
-	dir := cfg.TraceDir
-	if dir == "" {
-		dir, err = os.MkdirTemp("", "clientmap-ditl-")
-		if err != nil {
-			return nil, err
-		}
-		defer os.RemoveAll(dir)
-	}
-
-	var g par.Group
-
-	// Technique 1: cache probing.
-	g.Go(func() error {
-		pcfg := sys.ProberConfig()
-		pcfg.Duration = cfg.CampaignDuration
-		pcfg.Passes = cfg.Passes
-		pcfg.Workers = cfg.Workers
-		camp, err := sys.Prober(pcfg).Run(noCtx(), sys.PoPCoords())
-		if err != nil {
-			return fmt.Errorf("experiments: cache probing: %w", err)
-		}
-		res.Campaign = camp
-		return nil
-	})
-
-	// Technique 2: DNS logs over generated DITL traces.
-	g.Go(func() error {
-		gen := roots.NewGenerator(sys.Model)
-		_, err := gen.Generate(roots.GenConfig{
-			Start:            campEnd.Add(-cfg.TraceDuration),
-			Duration:         cfg.TraceDuration,
-			PerSourceHourCap: cfg.PerSourceHourCap,
-		}, func(letter string) (io.WriteCloser, error) {
-			return os.Create(filepath.Join(dir, "root-"+letter+".ditl"))
-		})
-		if err != nil {
-			return fmt.Errorf("experiments: trace generation: %w", err)
-		}
-		res.DNSLogs, err = dnslogs.Crawl(dnslogs.Config{}, func(letter string) (io.ReadCloser, error) {
-			return os.Open(filepath.Join(dir, "root-"+letter+".ditl"))
-		})
-		if err != nil {
-			return fmt.Errorf("experiments: dns logs: %w", err)
-		}
-		return nil
-	})
-
-	// Comparison datasets: one day of CDN collections, APNIC estimates,
-	// ASdb categories.
-	g.Go(func() error {
-		res.CDN = cdn.Collect(sys.Model, campEnd.Add(-24*time.Hour))
-		res.APNIC = apnic.Estimate(sys.World, apnic.Config{})
-		res.ASDB = asdb.FromWorld(sys.World, asdb.DefaultCoverage)
-		return nil
-	})
-
-	if err := g.Wait(); err != nil {
+	cfg = cfg.withDefaults()
+	sr := newStagedRun(cfg)
+	if err := sr.runner.Run(noCtx()); err != nil {
 		return nil, err
 	}
 
-	res.buildViews()
+	res := &Results{
+		Cfg:      cfg,
+		Sys:      sr.world.Out(),
+		Campaign: sr.probeFinal.Out(),
+		DNSLogs:  sr.dnsLogs.Out(),
+		CDN:      sr.baselines.Out().CDN,
+		APNIC:    sr.baselines.Out().APNIC,
+		ASDB:     sr.baselines.Out().ASDB,
+		RV:       sr.world.Out().RV,
+	}
+	v := sr.views.Out()
+	res.PfxCacheProbe, res.PfxDNSLogs, res.PfxUnion = v.PfxCacheProbe, v.PfxDNSLogs, v.PfxUnion
+	res.PfxMSClients, res.PfxMSResolvers = v.PfxMSClients, v.PfxMSResolvers
+	res.ASCacheProbe, res.ASDNSLogs, res.ASUnion = v.ASCacheProbe, v.ASDNSLogs, v.ASUnion
+	res.ASAPNIC, res.ASMSClients, res.ASMSResolvers = v.ASAPNIC, v.ASMSClients, v.ASMSResolvers
 	return res, nil
 }

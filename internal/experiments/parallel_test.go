@@ -9,6 +9,75 @@ import (
 	"clientmap/internal/world"
 )
 
+// compareResults asserts two runs produced the same Campaign down to
+// individual hit timestamps, the same scope-diff tables, the same derived
+// prefix sets, and the same headline statistics. Shared by the
+// worker-count determinism test and the kill-and-resume test — both make
+// the same claim: the knob under test never changes results.
+func compareResults(t *testing.T, labelA, labelB string, a, b *Results) {
+	t.Helper()
+	sc, pc := a.Campaign, b.Campaign
+	if sc.ProbesSent != pc.ProbesSent {
+		t.Errorf("ProbesSent: %s %d, %s %d", labelA, sc.ProbesSent, labelB, pc.ProbesSent)
+	}
+	if sc.PreScanQueries != pc.PreScanQueries {
+		t.Errorf("PreScanQueries: %s %d, %s %d", labelA, sc.PreScanQueries, labelB, pc.PreScanQueries)
+	}
+	if !reflect.DeepEqual(sc.ScopesByDomain, pc.ScopesByDomain) {
+		t.Error("pre-scan scope lists differ")
+	}
+	if !reflect.DeepEqual(sc.ScopeDiffs, pc.ScopeDiffs) {
+		t.Error("scope-diff tables differ")
+	}
+	if !reflect.DeepEqual(sc.PoPHits, pc.PoPHits) {
+		t.Error("per-PoP hit counts differ")
+	}
+	if !reflect.DeepEqual(sc.PassTimes, pc.PassTimes) {
+		t.Error("pass times differ")
+	}
+	for pop, pa := range sc.PoPs {
+		pb := pc.PoPs[pop]
+		if pb == nil || pa.RadiusKm != pb.RadiusKm || pa.Assigned != pb.Assigned ||
+			!reflect.DeepEqual(pa.HitDistancesKm, pb.HitDistancesKm) {
+			t.Errorf("PoP %s calibration differs", pop)
+		}
+	}
+
+	// Hits must match per (domain, response scope) down to the evidence:
+	// count, pass mask, attributed PoP, and every hit timestamp.
+	if len(sc.Hits) != len(pc.Hits) {
+		t.Fatalf("hit domains: %s %d, %s %d", labelA, len(sc.Hits), labelB, len(pc.Hits))
+	}
+	for domain, shits := range sc.Hits {
+		phits := pc.Hits[domain]
+		if len(shits) != len(phits) {
+			t.Errorf("%s: %d vs %d hit scopes", domain, len(shits), len(phits))
+			continue
+		}
+		for scope, sh := range shits {
+			ph, ok := phits[scope]
+			if !ok {
+				t.Errorf("%s: scope %v only in %s run", domain, scope, labelA)
+				continue
+			}
+			if sh.Count != ph.Count || sh.PassMask != ph.PassMask || sh.PoP != ph.PoP ||
+				sh.QueryScope != ph.QueryScope || !reflect.DeepEqual(sh.Times, ph.Times) {
+				t.Errorf("%s %v: hit evidence differs:\n%s %+v\n%s %+v", domain, scope, labelA, sh, labelB, ph)
+			}
+		}
+	}
+
+	if !a.PfxCacheProbe.Set.Equal(b.PfxCacheProbe.Set) {
+		t.Error("cache-probing prefix sets differ")
+	}
+	if !a.PfxDNSLogs.Set.Equal(b.PfxDNSLogs.Set) {
+		t.Error("dns-logs prefix sets differ")
+	}
+	if ha, hb := a.ComputeHeadline(), b.ComputeHeadline(); ha != hb {
+		t.Errorf("headlines differ:\n%s %+v\n%s %+v", labelA, ha, labelB, hb)
+	}
+}
+
 // TestParallelDeterminism: the worker count is a pure throughput knob. A
 // fully sequential run (Workers=1) and a heavily parallel one (Workers=8)
 // over the same seed must produce the same Campaign down to individual
@@ -31,64 +100,5 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sc, pc := seq.Campaign, par.Campaign
-	if sc.ProbesSent != pc.ProbesSent {
-		t.Errorf("ProbesSent: sequential %d, parallel %d", sc.ProbesSent, pc.ProbesSent)
-	}
-	if sc.PreScanQueries != pc.PreScanQueries {
-		t.Errorf("PreScanQueries: sequential %d, parallel %d", sc.PreScanQueries, pc.PreScanQueries)
-	}
-	if !reflect.DeepEqual(sc.ScopesByDomain, pc.ScopesByDomain) {
-		t.Error("pre-scan scope lists differ")
-	}
-	if !reflect.DeepEqual(sc.ScopeDiffs, pc.ScopeDiffs) {
-		t.Error("scope-diff tables differ")
-	}
-	if !reflect.DeepEqual(sc.PoPHits, pc.PoPHits) {
-		t.Error("per-PoP hit counts differ")
-	}
-	if !reflect.DeepEqual(sc.PassTimes, pc.PassTimes) {
-		t.Error("pass times differ")
-	}
-	for pop, a := range sc.PoPs {
-		b := pc.PoPs[pop]
-		if b == nil || a.RadiusKm != b.RadiusKm || a.Assigned != b.Assigned ||
-			!reflect.DeepEqual(a.HitDistancesKm, b.HitDistancesKm) {
-			t.Errorf("PoP %s calibration differs", pop)
-		}
-	}
-
-	// Hits must match per (domain, response scope) down to the evidence:
-	// count, pass mask, attributed PoP, and every hit timestamp.
-	if len(sc.Hits) != len(pc.Hits) {
-		t.Fatalf("hit domains: sequential %d, parallel %d", len(sc.Hits), len(pc.Hits))
-	}
-	for domain, shits := range sc.Hits {
-		phits := pc.Hits[domain]
-		if len(shits) != len(phits) {
-			t.Errorf("%s: %d vs %d hit scopes", domain, len(shits), len(phits))
-			continue
-		}
-		for scope, sh := range shits {
-			ph, ok := phits[scope]
-			if !ok {
-				t.Errorf("%s: scope %v only in sequential run", domain, scope)
-				continue
-			}
-			if sh.Count != ph.Count || sh.PassMask != ph.PassMask || sh.PoP != ph.PoP ||
-				sh.QueryScope != ph.QueryScope || !reflect.DeepEqual(sh.Times, ph.Times) {
-				t.Errorf("%s %v: hit evidence differs:\nseq %+v\npar %+v", domain, scope, sh, ph)
-			}
-		}
-	}
-
-	if !seq.PfxCacheProbe.Set.Equal(par.PfxCacheProbe.Set) {
-		t.Error("cache-probing prefix sets differ")
-	}
-	if !seq.PfxDNSLogs.Set.Equal(par.PfxDNSLogs.Set) {
-		t.Error("dns-logs prefix sets differ")
-	}
-	if hs, hp := seq.ComputeHeadline(), par.ComputeHeadline(); hs != hp {
-		t.Errorf("headlines differ:\nseq %+v\npar %+v", hs, hp)
-	}
+	compareResults(t, "sequential", "parallel", seq, par)
 }

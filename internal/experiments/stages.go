@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"clientmap/internal/apnic"
+	"clientmap/internal/asdb"
+	"clientmap/internal/cdn"
+	"clientmap/internal/clockx"
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/core/datasets"
+	"clientmap/internal/core/dnslogs"
+	"clientmap/internal/pipeline"
+	"clientmap/internal/roots"
+	"clientmap/internal/sim"
+	"clientmap/internal/snapshot"
+)
+
+// Stage names, in dependency order. The cache-probing chain checkpoints
+// at every boundary — most importantly after every probing pass — while
+// the DITL chain and the baseline collections run concurrently with it.
+// StageProbePass is a prefix: pass k checkpoints as "probe-pass-<k>".
+const (
+	StageWorld     = "world"
+	StageSetup     = "campaign-setup"
+	StagePreScan   = "scope-prescan"
+	StageCalibrate = "calibration"
+	StageProbePass = "probe-pass-"
+	StageFinish    = "campaign-finish"
+	StageDNSLogs   = "ditl-dnslogs"
+	StageBaselines = "baselines"
+	StageViews     = "dataset-views"
+)
+
+// ProbePassStage returns the checkpoint stage name of probing pass k —
+// handy for Config.StopAfter in kill/resume tests and drills.
+func ProbePassStage(k int) string { return fmt.Sprintf("%s%d", StageProbePass, k) }
+
+// campaignEnv is the in-memory (non-serializable) environment of the
+// probing chain: the prober wired to the simulated network and the
+// discovered PoPs. It is rebuilt by an ephemeral stage on every run —
+// rebuilding is a handful of discovery queries, while the measurements
+// the chain checkpoints are hours of probing.
+type campaignEnv struct {
+	sys    *sim.System
+	prober *cacheprobe.Prober
+	pops   map[string]*cacheprobe.Vantage
+
+	asgOnce sync.Once
+	asg     *cacheprobe.Assignments
+}
+
+// assignments lazily builds the probe plan from the campaign state. Only
+// passes that actually run need it; a fully restored chain never pays
+// for the geolocation sweep.
+func (e *campaignEnv) assignments(camp *cacheprobe.Campaign) *cacheprobe.Assignments {
+	e.asgOnce.Do(func() {
+		e.asg = e.prober.BuildAssignments(e.pops, e.sys.PoPCoords(), camp)
+	})
+	return e.asg
+}
+
+// baselineArtifact bundles the comparison-dataset collections that are
+// checkpointed as one stage: one day of CDN collections, the APNIC
+// estimates, and the ASdb categories.
+type baselineArtifact struct {
+	CDN   *cdn.Datasets
+	APNIC *apnic.Estimates
+	ASDB  *asdb.DB
+}
+
+// viewsArtifact holds the derived dataset views at both granularities —
+// the last persisted stage, so a re-render with unchanged inputs decodes
+// everything and probes nothing.
+type viewsArtifact struct {
+	PfxCacheProbe, PfxDNSLogs, PfxUnion, PfxMSClients, PfxMSResolvers     *datasets.PrefixDataset
+	ASCacheProbe, ASDNSLogs, ASUnion, ASAPNIC, ASMSClients, ASMSResolvers *datasets.ASDataset
+}
+
+// Stage artifact codecs. The campaign chain shares one codec: the
+// pre-scan, the calibration and every pass checkpoint the same
+// (cumulative) campaign state.
+var campaignCodec = &pipeline.Codec[*cacheprobe.Campaign]{
+	Kind:    snapshot.KindCampaign,
+	Version: snapshot.VersionCampaign,
+	Encode:  snapshot.EncodeCampaign,
+	Decode:  snapshot.DecodeCampaign,
+}
+
+var dnslogsCodec = &pipeline.Codec[*dnslogs.Result]{
+	Kind:    snapshot.KindDNSLogs,
+	Version: snapshot.VersionDNSLogs,
+	Encode:  snapshot.EncodeDNSLogs,
+	Decode:  snapshot.DecodeDNSLogs,
+}
+
+var baselinesCodec = &pipeline.Codec[*baselineArtifact]{
+	Kind:    "experiments.Baselines",
+	Version: 1,
+	Encode: func(w *snapshot.Writer, b *baselineArtifact) {
+		snapshot.EncodeCDN(w, b.CDN)
+		snapshot.EncodeAPNIC(w, b.APNIC)
+		snapshot.EncodeASDB(w, b.ASDB)
+	},
+	Decode: func(r *snapshot.Reader) (*baselineArtifact, error) {
+		b := &baselineArtifact{}
+		var err error
+		if b.CDN, err = snapshot.DecodeCDN(r); err != nil {
+			return nil, err
+		}
+		if b.APNIC, err = snapshot.DecodeAPNIC(r); err != nil {
+			return nil, err
+		}
+		if b.ASDB, err = snapshot.DecodeASDB(r); err != nil {
+			return nil, err
+		}
+		return b, nil
+	},
+}
+
+var viewsCodec = &pipeline.Codec[*viewsArtifact]{
+	Kind:    "experiments.Views",
+	Version: 1,
+	Encode: func(w *snapshot.Writer, v *viewsArtifact) {
+		for _, d := range v.prefixViews() {
+			snapshot.EncodePrefixDataset(w, d)
+		}
+		for _, d := range v.asViews() {
+			snapshot.EncodeASDataset(w, d)
+		}
+	},
+	Decode: func(r *snapshot.Reader) (*viewsArtifact, error) {
+		v := &viewsArtifact{}
+		pfx := []**datasets.PrefixDataset{
+			&v.PfxCacheProbe, &v.PfxDNSLogs, &v.PfxUnion, &v.PfxMSClients, &v.PfxMSResolvers,
+		}
+		for _, p := range pfx {
+			d, err := snapshot.DecodePrefixDataset(r)
+			if err != nil {
+				return nil, err
+			}
+			*p = d
+		}
+		as := []**datasets.ASDataset{
+			&v.ASCacheProbe, &v.ASDNSLogs, &v.ASUnion, &v.ASAPNIC, &v.ASMSClients, &v.ASMSResolvers,
+		}
+		for _, a := range as {
+			d, err := snapshot.DecodeASDataset(r)
+			if err != nil {
+				return nil, err
+			}
+			*a = d
+		}
+		return v, nil
+	},
+}
+
+func (v *viewsArtifact) prefixViews() []*datasets.PrefixDataset {
+	return []*datasets.PrefixDataset{
+		v.PfxCacheProbe, v.PfxDNSLogs, v.PfxUnion, v.PfxMSClients, v.PfxMSResolvers,
+	}
+}
+
+func (v *viewsArtifact) asViews() []*datasets.ASDataset {
+	return []*datasets.ASDataset{
+		v.ASCacheProbe, v.ASDNSLogs, v.ASUnion, v.ASAPNIC, v.ASMSClients, v.ASMSResolvers,
+	}
+}
+
+// stagedRun wires the full evaluation as pipeline stages and keeps the
+// handles needed to assemble Results afterwards.
+type stagedRun struct {
+	runner     *pipeline.Runner
+	world      *pipeline.Stage[*sim.System]
+	probeFinal *pipeline.Stage[*cacheprobe.Campaign]
+	dnsLogs    *pipeline.Stage[*dnslogs.Result]
+	baselines  *pipeline.Stage[*baselineArtifact]
+	views      *pipeline.Stage[*viewsArtifact]
+}
+
+func deps(hs ...pipeline.Handle) []pipeline.Handle { return hs }
+
+// newStagedRun registers every stage of the evaluation:
+//
+//	world ─ campaign-setup ─ scope-prescan ─ calibration ─ probe-pass-0 … probe-pass-N ─ campaign-finish
+//	  ├──── ditl-dnslogs ────────────────────────────────────────────┐
+//	  ├──── baselines ───────────────────────────────────────────────┤
+//	  └──────────────────────────────────────────────────────────────┴─ dataset-views
+//
+// Time anchors are computed from the campaign window up front rather
+// than read off the shared simulated clock mid-run (the campaign always
+// starts at the simulation epoch), so the concurrent chains observe the
+// same timeline no matter how the scheduler interleaves them, and a
+// resumed process reproduces the original schedule exactly.
+//
+// Fingerprints deliberately exclude Config.Workers: the worker count is
+// a pure throughput knob with bit-identical results, so checkpoints
+// written at one worker count resume at any other.
+func newStagedRun(cfg Config) *stagedRun {
+	r := pipeline.New(pipeline.Options{
+		Dir:       cfg.StateDir,
+		Resume:    cfg.Resume,
+		StopAfter: cfg.StopAfter,
+		Log:       cfg.Log,
+	})
+	sr := &stagedRun{runner: r}
+
+	campStart := clockx.Epoch
+	campEnd := campStart.Add(cfg.CampaignDuration)
+	base := fmt.Sprintf("seed=%d scale=%+v", cfg.Seed, cfg.Scale)
+
+	sr.world = pipeline.AddStage(r, StageWorld, base, nil, nil,
+		func(ctx context.Context) (*sim.System, error) {
+			return sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+		})
+
+	setup := pipeline.AddStage(r, StageSetup, base, deps(sr.world), nil,
+		func(ctx context.Context) (*campaignEnv, error) {
+			sys := sr.world.Out()
+			pcfg := sys.ProberConfig()
+			pcfg.Duration = cfg.CampaignDuration
+			pcfg.Passes = cfg.Passes
+			pcfg.Workers = cfg.Workers
+			prober := sys.Prober(pcfg)
+			pops, err := prober.DiscoverPoPs(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("cache probing: %w", err)
+			}
+			return &campaignEnv{sys: sys, prober: prober, pops: pops}, nil
+		})
+
+	prescan := pipeline.AddStage(r, StagePreScan, base, deps(sr.world, setup), campaignCodec,
+		func(ctx context.Context) (*cacheprobe.Campaign, error) {
+			camp := cacheprobe.NewCampaign()
+			if err := setup.Out().prober.PreScan(ctx, camp); err != nil {
+				return nil, fmt.Errorf("cache probing: %w", err)
+			}
+			return camp, nil
+		})
+
+	calibrate := pipeline.AddStage(r, StageCalibrate, base, deps(setup, prescan), campaignCodec,
+		func(ctx context.Context) (*cacheprobe.Campaign, error) {
+			env := setup.Out()
+			camp := prescan.Out()
+			env.prober.Calibrate(ctx, env.pops, camp)
+			return camp, nil
+		})
+
+	// Each probing pass is its own checkpoint boundary: kill after pass
+	// k, resume at pass k+1 with the campaign state decoded from disk.
+	prev := calibrate
+	for k := 0; k < cfg.Passes; k++ {
+		k, upstream := k, prev
+		passFP := fmt.Sprintf("%s dur=%s passes=%d pass=%d", base, cfg.CampaignDuration, cfg.Passes, k)
+		prev = pipeline.AddStage(r, ProbePassStage(k), passFP, deps(setup, upstream), campaignCodec,
+			func(ctx context.Context) (*cacheprobe.Campaign, error) {
+				env := setup.Out()
+				camp := upstream.Out()
+				env.prober.ProbePass(ctx, env.pops, env.assignments(camp), k, campStart, camp)
+				return camp, nil
+			})
+	}
+	sr.probeFinal = prev
+
+	pipeline.AddStage(r, StageFinish, "", deps(setup, sr.probeFinal), nil,
+		func(ctx context.Context) (struct{}, error) {
+			setup.Out().prober.FinishProbing(campStart)
+			return struct{}{}, nil
+		})
+
+	logsFP := fmt.Sprintf("%s trace=%s cap=%d end=%s", base, cfg.TraceDuration, cfg.PerSourceHourCap, campEnd.Format(time.RFC3339))
+	sr.dnsLogs = pipeline.AddStage(r, StageDNSLogs, logsFP, deps(sr.world), dnslogsCodec,
+		func(ctx context.Context) (*dnslogs.Result, error) {
+			return runDNSLogs(cfg, sr.world.Out(), campEnd)
+		})
+
+	baseFP := fmt.Sprintf("%s day=%s", base, campEnd.Add(-24*time.Hour).Format(time.RFC3339))
+	sr.baselines = pipeline.AddStage(r, StageBaselines, baseFP, deps(sr.world), baselinesCodec,
+		func(ctx context.Context) (*baselineArtifact, error) {
+			sys := sr.world.Out()
+			return &baselineArtifact{
+				CDN:   cdn.Collect(sys.Model, campEnd.Add(-24*time.Hour)),
+				APNIC: apnic.Estimate(sys.World, apnic.Config{}),
+				ASDB:  asdb.FromWorld(sys.World, asdb.DefaultCoverage),
+			}, nil
+		})
+
+	sr.views = pipeline.AddStage(r, StageViews, base, deps(sr.world, sr.probeFinal, sr.dnsLogs, sr.baselines), viewsCodec,
+		func(ctx context.Context) (*viewsArtifact, error) {
+			return buildViews(sr.probeFinal.Out(), sr.dnsLogs.Out(), sr.baselines.Out(), sr.world.Out().RV), nil
+		})
+
+	return sr
+}
+
+// runDNSLogs generates the DITL traces and crawls them — technique 2 as
+// one stage: the crawl result is the artifact, and the trace files land
+// in TraceDir, in StateDir/traces (so a resumed run does not regenerate
+// them), or in a temp dir that is removed when the crawl is done.
+func runDNSLogs(cfg Config, sys *sim.System, campEnd time.Time) (*dnslogs.Result, error) {
+	dir := cfg.TraceDir
+	switch {
+	case dir != "":
+	case cfg.StateDir != "":
+		dir = filepath.Join(cfg.StateDir, "traces")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	default:
+		tmp, err := os.MkdirTemp("", "clientmap-ditl-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	gen := roots.NewGenerator(sys.Model)
+	_, err := gen.Generate(roots.GenConfig{
+		Start:            campEnd.Add(-cfg.TraceDuration),
+		Duration:         cfg.TraceDuration,
+		PerSourceHourCap: cfg.PerSourceHourCap,
+	}, func(letter string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, "root-"+letter+".ditl"))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace generation: %w", err)
+	}
+	res, err := dnslogs.Crawl(dnslogs.Config{}, func(letter string) (io.ReadCloser, error) {
+		return os.Open(filepath.Join(dir, "root-"+letter+".ditl"))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dns logs: %w", err)
+	}
+	return res, nil
+}

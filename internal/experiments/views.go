@@ -2,9 +2,13 @@ package experiments
 
 import (
 	"context"
+	"sort"
 
+	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/core/datasets"
+	"clientmap/internal/core/dnslogs"
 	"clientmap/internal/netx"
+	"clientmap/internal/routeviews"
 )
 
 func noCtx() context.Context { return context.Background() }
@@ -19,42 +23,73 @@ func noCtx() context.Context { return context.Background() }
 //   - Microsoft clients carries HTTP request volume per /24;
 //   - Microsoft resolvers carries client-IP counts per resolver /24;
 //   - APNIC exists only at AS granularity.
-func (r *Results) buildViews() {
+//
+// Every map is folded in sorted key order: the views are a persisted
+// pipeline artifact, and float accumulation must not depend on Go's map
+// iteration order for the encoded bytes to be reproducible.
+func buildViews(camp *cacheprobe.Campaign, logs *dnslogs.Result, base *baselineArtifact, rv *routeviews.Table) *viewsArtifact {
+	v := &viewsArtifact{}
+
 	// Prefix views.
-	r.PfxCacheProbe = datasets.NewPrefixDataset(NameCacheProbe)
-	r.Campaign.Upper24s().Range(func(p netx.Slash24) bool {
-		r.PfxCacheProbe.Set.Add(p)
+	v.PfxCacheProbe = datasets.NewPrefixDataset(NameCacheProbe)
+	camp.Upper24s().Range(func(p netx.Slash24) bool {
+		v.PfxCacheProbe.Set.Add(p)
 		return true
 	})
 
-	r.PfxDNSLogs = datasets.NewPrefixDataset(NameDNSLogs)
-	for addr, count := range r.DNSLogs.ResolverCounts {
-		r.PfxDNSLogs.Add(addr.Slash24(), count)
+	v.PfxDNSLogs = datasets.NewPrefixDataset(NameDNSLogs)
+	for _, addr := range logs.Resolvers() {
+		v.PfxDNSLogs.Add(addr.Slash24(), logs.ResolverCounts[addr])
 	}
 
-	r.PfxUnion = r.PfxCacheProbe.Union(NameUnion, r.PfxDNSLogs)
+	v.PfxUnion = v.PfxCacheProbe.Union(NameUnion, v.PfxDNSLogs)
 
-	r.PfxMSClients = datasets.NewPrefixDataset(NameMSClients)
-	for p, v := range r.CDN.Clients.Volume {
-		r.PfxMSClients.Add(p, float64(v))
+	v.PfxMSClients = datasets.NewPrefixDataset(NameMSClients)
+	for _, p := range sortedSlash24s(base.CDN.Clients.Volume) {
+		v.PfxMSClients.Add(p, float64(base.CDN.Clients.Volume[p]))
 	}
 
-	r.PfxMSResolvers = datasets.NewPrefixDataset(NameMSResolvers)
-	for addr, n := range r.CDN.Resolvers.ClientIPs {
-		r.PfxMSResolvers.Add(addr.Slash24(), float64(n))
+	v.PfxMSResolvers = datasets.NewPrefixDataset(NameMSResolvers)
+	for _, addr := range sortedAddrs(base.CDN.Resolvers.ClientIPs) {
+		v.PfxMSResolvers.Add(addr.Slash24(), float64(base.CDN.Resolvers.ClientIPs[addr]))
 	}
 
 	// AS views.
-	r.ASCacheProbe, _ = r.PfxCacheProbe.ToAS(NameCacheProbe, r.RV)
-	r.ASDNSLogs, _ = r.PfxDNSLogs.ToAS(NameDNSLogs, r.RV)
-	r.ASUnion = r.ASCacheProbe.Union(NameUnion, r.ASDNSLogs)
-	r.ASMSClients, _ = r.PfxMSClients.ToAS(NameMSClients, r.RV)
-	r.ASMSResolvers, _ = r.PfxMSResolvers.ToAS(NameMSResolvers, r.RV)
+	v.ASCacheProbe, _ = v.PfxCacheProbe.ToAS(NameCacheProbe, rv)
+	v.ASDNSLogs, _ = v.PfxDNSLogs.ToAS(NameDNSLogs, rv)
+	v.ASUnion = v.ASCacheProbe.Union(NameUnion, v.ASDNSLogs)
+	v.ASMSClients, _ = v.PfxMSClients.ToAS(NameMSClients, rv)
+	v.ASMSResolvers, _ = v.PfxMSResolvers.ToAS(NameMSResolvers, rv)
 
-	r.ASAPNIC = datasets.NewASDataset(NameAPNIC)
-	for asn, users := range r.APNIC.Users {
-		r.ASAPNIC.Add(asn, users)
+	v.ASAPNIC = datasets.NewASDataset(NameAPNIC)
+	asns := make([]uint32, 0, len(base.APNIC.Users))
+	for asn := range base.APNIC.Users {
+		asns = append(asns, asn)
 	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		v.ASAPNIC.Add(asn, base.APNIC.Users[asn])
+	}
+
+	return v
+}
+
+func sortedSlash24s[V any](m map[netx.Slash24]V) []netx.Slash24 {
+	out := make([]netx.Slash24, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedAddrs[V any](m map[netx.Addr]V) []netx.Addr {
+	out := make([]netx.Addr, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // asCountry maps every announced ASN to its country code.

@@ -1,0 +1,335 @@
+// Package pipeline turns a monolithic run into a graph of resumable
+// stages with durable intermediate artifacts — the architecture long
+// measurement campaigns need: a 120-hour probing run that dies after
+// pass 5 must restart at pass 6, not at hour zero.
+//
+// A Stage declares its upstream dependencies, a config fingerprint
+// (the knobs that affect its output), and — for persisted stages — a
+// snapshot codec for its artifact. At execution time the runner derives
+// each stage's fingerprint by hashing its name, codec identity, config
+// fingerprint, and the *artifact hashes* of everything upstream, so a
+// change anywhere in a stage's input cone invalidates exactly that
+// stage and its descendants. If the state directory already holds an
+// artifact with a matching fingerprint (and matching snapshot versions),
+// the stage is skipped and the artifact decoded instead — the log line
+// says so, which is how "a re-run with an unchanged config re-probes
+// nothing" is observable.
+//
+// Stages with no dependency relationship execute concurrently; each
+// stage starts the moment its dependencies finish. Ephemeral stages
+// (nil codec) always execute — they rebuild in-memory environment
+// (worlds, probers, transports) that is cheap relative to measurement
+// and cannot meaningfully be serialized.
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"clientmap/internal/par"
+	"clientmap/internal/snapshot"
+)
+
+// ErrStopped reports a run aborted by Options.StopAfter. Artifacts
+// checkpointed before the stop remain on disk and a subsequent run with
+// Resume picks up from them — the tested stand-in for a killed process.
+var ErrStopped = errors.New("pipeline: run stopped after requested stage")
+
+// Codec describes how a stage's artifact is persisted. Kind and Version
+// are recorded in the snapshot header and must match on restore.
+type Codec[T any] struct {
+	Kind    string
+	Version uint16
+	Encode  func(*snapshot.Writer, T)
+	Decode  func(*snapshot.Reader) (T, error)
+}
+
+// Options configure a Runner.
+type Options struct {
+	// Dir is the state directory artifacts are checkpointed into; empty
+	// disables persistence entirely (every stage runs in memory).
+	Dir string
+	// Resume reuses artifacts in Dir whose fingerprints match. Without
+	// it, existing artifacts are ignored and overwritten — the "I
+	// changed something invisible to fingerprints, start clean" escape
+	// hatch.
+	Resume bool
+	// StopAfter aborts the run right after the named stage completes
+	// (and checkpoints). Stages already running concurrently may still
+	// finish, exactly as with a real kill signal.
+	StopAfter string
+	// Log receives human-readable stage progress lines; nil discards.
+	Log func(format string, args ...any)
+}
+
+// Handle is an opaque reference to a registered stage, used to declare
+// dependencies. Only *Stage values implement it.
+type Handle interface {
+	// Name returns the stage's registered name.
+	Name() string
+	await() error
+	meta() *stageMeta
+	exec(ctx context.Context, r *Runner) error
+}
+
+// stageMeta is the type-independent execution state of a stage.
+type stageMeta struct {
+	name     string
+	configFP string
+	deps     []Handle
+	done     chan struct{}
+	err      error
+	// fingerprint is the stage's derived input fingerprint, available
+	// once the stage completes.
+	fingerprint string
+	// artifactHash is what downstream fingerprints chain on: the
+	// content hash of the encoded artifact for persisted stages, the
+	// fingerprint itself for ephemeral ones.
+	artifactHash string
+	restored     bool
+}
+
+// Stage is one node of the pipeline. Obtain via AddStage; read the
+// artifact with Out after the Runner finishes.
+type Stage[T any] struct {
+	m     stageMeta
+	codec *Codec[T]
+	build func(ctx context.Context) (T, error)
+	out   T
+}
+
+// Runner executes registered stages.
+type Runner struct {
+	opts    Options
+	stages  []Handle
+	stopped chan struct{}
+	stopOne func()
+}
+
+// New returns a Runner with the given options.
+func New(opts Options) *Runner {
+	r := &Runner{opts: opts, stopped: make(chan struct{})}
+	var once bool
+	r.stopOne = func() {
+		if !once {
+			once = true
+			close(r.stopped)
+		}
+	}
+	return r
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.opts.Log != nil {
+		r.opts.Log(format, args...)
+	}
+}
+
+// AddStage registers a stage. Dependencies must already be registered
+// (which keeps registration order a valid topological order). A nil
+// codec marks the stage ephemeral: it always executes and nothing is
+// persisted. configFP must capture every knob that can change the
+// stage's output and is not already reflected in an upstream artifact.
+func AddStage[T any](r *Runner, name, configFP string, deps []Handle, codec *Codec[T], build func(ctx context.Context) (T, error)) *Stage[T] {
+	s := &Stage[T]{
+		m: stageMeta{
+			name:     name,
+			configFP: configFP,
+			deps:     deps,
+			done:     make(chan struct{}),
+		},
+		codec: codec,
+		build: build,
+	}
+	r.stages = append(r.stages, s)
+	return s
+}
+
+// Name returns the stage's registered name.
+func (s *Stage[T]) Name() string { return s.m.name }
+
+// Out returns the stage's artifact. Valid only after Runner.Run returns
+// nil, or — for this stage specifically — after it completed during a
+// stopped run.
+func (s *Stage[T]) Out() T { return s.out }
+
+// Restored reports whether the artifact was decoded from a checkpoint
+// rather than built.
+func (s *Stage[T]) Restored() bool { return s.m.restored }
+
+func (s *Stage[T]) meta() *stageMeta { return &s.m }
+
+func (s *Stage[T]) await() error {
+	<-s.m.done
+	return s.m.err
+}
+
+// Run executes every registered stage, respecting dependencies, with
+// independent stages running concurrently. It returns the first stage
+// error, or ErrStopped if Options.StopAfter cut the run short.
+func (r *Runner) Run(ctx context.Context) error {
+	var g par.Group
+	for _, s := range r.stages {
+		s := s
+		g.Go(func() error { return s.exec(ctx, r) })
+	}
+	return g.Wait()
+}
+
+// errDep marks "a dependency already failed"; the dependency's own
+// goroutine reports the real error to the group.
+var errDep = errors.New("pipeline: dependency failed")
+
+func (s *Stage[T]) exec(ctx context.Context, r *Runner) error {
+	defer close(s.m.done)
+	for _, d := range s.m.deps {
+		if err := d.await(); err != nil {
+			s.m.err = fmt.Errorf("%w: %s", errDep, d.Name())
+			if errors.Is(err, ErrStopped) || errors.Is(err, errDep) {
+				// Propagate the stop silently; the group already has it.
+				s.m.err = err
+			}
+			return nil
+		}
+	}
+	select {
+	case <-r.stopped:
+		s.m.err = ErrStopped
+		return ErrStopped
+	default:
+	}
+
+	s.m.fingerprint = s.deriveFingerprint()
+	if err := s.produce(ctx, r); err != nil {
+		s.m.err = fmt.Errorf("pipeline: stage %s: %w", s.m.name, err)
+		return s.m.err
+	}
+	if s.m.name == r.opts.StopAfter {
+		r.logf("stage %s: stop requested — aborting remaining stages", s.m.name)
+		r.stopOne()
+	}
+	return nil
+}
+
+// deriveFingerprint hashes the stage identity, its codec identity, its
+// config fingerprint, and every upstream artifact hash.
+func (s *Stage[T]) deriveFingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "stage=%s\n", s.m.name)
+	if s.codec != nil {
+		fmt.Fprintf(h, "codec=%s/v%d\n", s.codec.Kind, s.codec.Version)
+	}
+	fmt.Fprintf(h, "config=%s\n", s.m.configFP)
+	for _, d := range s.m.deps {
+		fmt.Fprintf(h, "dep=%s:%s\n", d.Name(), d.meta().artifactHash)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func short(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+// produce restores the artifact from a matching checkpoint or builds
+// and (when persisted) checkpoints it.
+func (s *Stage[T]) produce(ctx context.Context, r *Runner) error {
+	persisted := s.codec != nil && r.opts.Dir != ""
+	if persisted && r.opts.Resume && s.tryRestore(r) {
+		return nil
+	}
+
+	start := time.Now()
+	r.logf("stage %s: running (fingerprint %s)", s.m.name, short(s.m.fingerprint))
+	out, err := s.build(ctx)
+	if err != nil {
+		return err
+	}
+	s.out = out
+	took := time.Since(start)
+
+	if !persisted {
+		s.m.artifactHash = s.m.fingerprint
+		if s.codec == nil {
+			r.logf("stage %s: done in %v", s.m.name, took.Round(time.Millisecond))
+		}
+		return nil
+	}
+
+	wstart := time.Now()
+	data, payloadHash := snapshot.Marshal(snapshot.Header{
+		Kind:        s.codec.Kind,
+		Version:     s.codec.Version,
+		Fingerprint: s.m.fingerprint,
+	}, func(w *snapshot.Writer) { s.codec.Encode(w, out) })
+	if err := writeAtomic(s.path(r), data); err != nil {
+		return fmt.Errorf("checkpointing: %w", err)
+	}
+	s.m.artifactHash = payloadHash
+	r.logf("stage %s: done in %v, checkpointed %d bytes in %v",
+		s.m.name, took.Round(time.Millisecond), len(data), time.Since(wstart).Round(time.Millisecond))
+	return nil
+}
+
+// tryRestore loads the stage's checkpoint if it exists, matches the
+// snapshot versions, and carries the expected fingerprint. Any mismatch
+// is logged and treated as "rebuild", never as an error: stale state
+// must not wedge a run.
+func (s *Stage[T]) tryRestore(r *Runner) bool {
+	path := s.path(r)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	rstart := time.Now()
+	h, rd, payloadHash, err := snapshot.Open(data)
+	if err != nil {
+		r.logf("stage %s: ignoring checkpoint %s: %v", s.m.name, path, err)
+		return false
+	}
+	if err := snapshot.Check(h, s.codec.Kind, s.codec.Version); err != nil {
+		r.logf("stage %s: ignoring checkpoint %s: %v", s.m.name, path, err)
+		return false
+	}
+	if h.Fingerprint != s.m.fingerprint {
+		r.logf("stage %s: checkpoint is stale (fingerprint %s, want %s) — rebuilding",
+			s.m.name, short(h.Fingerprint), short(s.m.fingerprint))
+		return false
+	}
+	out, err := s.codec.Decode(rd)
+	if err != nil {
+		r.logf("stage %s: ignoring undecodable checkpoint %s: %v", s.m.name, path, err)
+		return false
+	}
+	s.out = out
+	s.m.artifactHash = payloadHash
+	s.m.restored = true
+	r.logf("stage %s: restored checkpoint (%d bytes in %v, fingerprint %s) — skipped",
+		s.m.name, len(data), time.Since(rstart).Round(time.Millisecond), short(s.m.fingerprint))
+	return true
+}
+
+func (s *Stage[T]) path(r *Runner) string {
+	return filepath.Join(r.opts.Dir, s.m.name+".snap")
+}
+
+// writeAtomic writes data via a temp file + rename so a kill mid-write
+// never leaves a torn checkpoint behind.
+func writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench check cover fuzz-smoke
+
+# Packages whose coverage is gated in CI: the wire/transport layer and the
+# measurement cores, where an untested branch is a silently wrong result.
+COVER_PKGS = ./internal/dnsnet/... ./internal/core/...
+COVER_FLOOR = 70
 
 build:
 	$(GO) build ./...
@@ -18,6 +23,25 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# cover enforces a per-package statement-coverage floor on the gated
+# packages. Per-package (not aggregate) so a well-tested neighbour can't
+# mask an untested one.
+cover:
+	@$(GO) test -count=1 -coverprofile=coverage.out -covermode=atomic $(COVER_PKGS) | \
+	awk -v floor=$(COVER_FLOOR) ' \
+		{ print } \
+		/coverage:/ { \
+			pct = $$5; sub(/%.*/, "", pct); \
+			if (pct + 0 < floor) { bad = 1; print "FAIL: " $$2 " below " floor "% floor" } \
+		} \
+		END { exit bad }'
+
+# fuzz-smoke replays the seeded corpora and runs each fuzz target briefly —
+# enough to catch a framing or parser regression without a long campaign.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/dnswire
+	$(GO) test -run='^$$' -fuzz=FuzzReadTCP -fuzztime=10s ./internal/dnswire
 
 # check is the pre-merge gate: static analysis plus the race-enabled suite.
 check: vet race

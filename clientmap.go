@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"clientmap/internal/core/activity"
+	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/experiments"
+	"clientmap/internal/faults"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
 	"clientmap/internal/world"
@@ -83,6 +85,15 @@ type Config struct {
 	// this configuration, skipping the stages that produced them — how
 	// an interrupted campaign picks up where it was killed.
 	Resume bool
+	// Faults injects deterministic transport faults into the campaign,
+	// e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h". Empty (or "off")
+	// keeps the substrate perfectly reliable. Rates must lie in [0,1]
+	// and durations be non-negative; Run rejects anything else.
+	Faults string
+	// Retries is the probers' retry policy, e.g.
+	// "attempts=3,timeout=2s,backoff=100ms,budget=1000". Empty (or
+	// "off") means single-try probing, where a timeout counts as a miss.
+	Retries string
 	// Log receives stage progress lines (which stages ran, which were
 	// restored); nil discards them.
 	Log func(format string, args ...any)
@@ -114,6 +125,12 @@ func Run(cfg Config) (*Evaluation, error) {
 	ecfg.StateDir = cfg.StateDir
 	ecfg.Resume = cfg.Resume
 	ecfg.Log = cfg.Log
+	if ecfg.Faults, err = faults.Parse(cfg.Faults); err != nil {
+		return nil, fmt.Errorf("clientmap: %w", err)
+	}
+	if ecfg.Retry, err = cacheprobe.ParseRetry(cfg.Retries); err != nil {
+		return nil, fmt.Errorf("clientmap: %w", err)
+	}
 	res, err := experiments.Run(ecfg)
 	if err != nil {
 		return nil, err

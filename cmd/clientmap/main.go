@@ -17,29 +17,50 @@ import (
 	"sort"
 
 	"clientmap"
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/faults"
 )
+
+// validateReliabilityFlags rejects malformed -faults/-retries specs before
+// the (possibly long) run starts. clientmap.Run re-parses the same specs;
+// this pass exists so a typo fails in milliseconds, not after a campaign.
+func validateReliabilityFlags(faultSpec, retrySpec string) error {
+	if _, err := faults.Parse(faultSpec); err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
+	if _, err := cacheprobe.ParseRetry(retrySpec); err != nil {
+		return fmt.Errorf("-retries: %w", err)
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clientmap: ")
 	var (
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		scale    = flag.String("scale", "tiny", "world scale: tiny|small|medium|large")
-		prefix   = flag.String("prefix", "", "look up client activity for this CIDR prefix")
-		asn      = flag.Uint("asn", 0, "look up client activity for this AS number")
-		workers  = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
-		stateDir = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
-		resume   = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
-		report   = flag.Bool("report", false, "print the full evaluation report")
-		coverage = flag.Bool("coverage", false, "print per-country user coverage")
-		headline = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		scale     = flag.String("scale", "tiny", "world scale: tiny|small|medium|large")
+		prefix    = flag.String("prefix", "", "look up client activity for this CIDR prefix")
+		asn       = flag.Uint("asn", 0, "look up client activity for this AS number")
+		workers   = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
+		stateDir  = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
+		resume    = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
+		faultSpec = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
+		retrySpec = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
+		report    = flag.Bool("report", false, "print the full evaluation report")
+		coverage  = flag.Bool("coverage", false, "print per-country user coverage")
+		headline  = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
 	)
 	flag.Parse()
 
 	if *resume && *stateDir == "" {
 		log.Fatal("-resume requires -state-dir")
 	}
-	ccfg := clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers, StateDir: *stateDir, Resume: *resume}
+	if err := validateReliabilityFlags(*faultSpec, *retrySpec); err != nil {
+		log.Fatal(err)
+	}
+	ccfg := clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers, StateDir: *stateDir, Resume: *resume,
+		Faults: *faultSpec, Retries: *retrySpec}
 	if *stateDir != "" {
 		ccfg.Log = log.Printf
 	}

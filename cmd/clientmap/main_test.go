@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The -faults/-retries specs must be rejected before the run starts, with
+// errors naming the offending flag and constraint.
+func TestValidateReliabilityFlags(t *testing.T) {
+	cases := []struct {
+		name, faults, retries string
+		wantErr               string // empty = must validate
+	}{
+		{name: "both empty"},
+		{name: "both off", faults: "off", retries: "off"},
+		{name: "valid specs", faults: "loss=0.02,dup=0.01,trunc=0.005,jitter=50ms,outage=fra@24h+6h",
+			retries: "attempts=3,timeout=2s,backoff=100ms,budget=1000"},
+		{name: "loss above one", faults: "loss=2", wantErr: "-faults"},
+		{name: "negative loss", faults: "loss=-0.1", wantErr: "-faults"},
+		{name: "negative jitter", faults: "jitter=-5ms", wantErr: "-faults"},
+		{name: "outage without duration", faults: "outage=fra@24h", wantErr: "-faults"},
+		{name: "unknown fault key", faults: "lossy=0.5", wantErr: "-faults"},
+		{name: "zero attempts", retries: "attempts=0", wantErr: "-retries"},
+		{name: "missing attempts", retries: "timeout=2s", wantErr: "-retries"},
+		{name: "negative backoff", retries: "attempts=2,backoff=-1s", wantErr: "-retries"},
+		{name: "negative budget", retries: "attempts=2,budget=-5", wantErr: "-retries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateReliabilityFlags(tc.faults, tc.retries)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateReliabilityFlags(%q, %q) = %v, want nil", tc.faults, tc.retries, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateReliabilityFlags(%q, %q) = nil, want error mentioning %q", tc.faults, tc.retries, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -16,26 +16,46 @@ import (
 	"strings"
 	"time"
 
+	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/experiments"
+	"clientmap/internal/faults"
 	"clientmap/internal/randx"
 	"clientmap/internal/report"
 	"clientmap/internal/world"
 )
 
+// parseReliability turns the -faults/-retries spec strings into their
+// typed configs, rejecting out-of-range values (loss outside [0,1],
+// attempts < 1, negative durations) with the parsers' own messages.
+func parseReliability(faultSpec, retrySpec string) (faults.Config, cacheprobe.Retry, error) {
+	fc, err := faults.Parse(faultSpec)
+	if err != nil {
+		return faults.Config{}, cacheprobe.Retry{}, fmt.Errorf("-faults: %w", err)
+	}
+	rc, err := cacheprobe.ParseRetry(retrySpec)
+	if err != nil {
+		return faults.Config{}, cacheprobe.Retry{}, fmt.Errorf("-retries: %w", err)
+	}
+	return fc, rc, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		seed     = flag.Uint64("seed", 2021, "simulation seed")
-		scale    = flag.String("scale", "small", "world scale: tiny|small|medium|large")
-		out      = flag.String("out", "", "write a markdown report to this file")
-		campaign = flag.Int("campaign-hours", 120, "cache-probing campaign duration")
-		passes   = flag.Int("passes", 9, "probing passes within the campaign")
-		traceH   = flag.Int("trace-hours", 48, "DITL trace duration")
-		workers  = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
-		csvDir   = flag.String("csvdir", "", "export every table and figure as CSV into this directory")
-		stateDir = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
-		resume   = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
+		seed      = flag.Uint64("seed", 2021, "simulation seed")
+		scale     = flag.String("scale", "small", "world scale: tiny|small|medium|large")
+		out       = flag.String("out", "", "write a markdown report to this file")
+		campaign  = flag.Int("campaign-hours", 120, "cache-probing campaign duration")
+		passes    = flag.Int("passes", 9, "probing passes within the campaign")
+		traceH    = flag.Int("trace-hours", 48, "DITL trace duration")
+		workers   = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
+		csvDir    = flag.String("csvdir", "", "export every table and figure as CSV into this directory")
+		stateDir  = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
+		resume    = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
+		faultSpec = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
+		retrySpec = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
+		relJSON   = flag.String("reliability-json", "", "write the fault/retry ledger as JSON to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +81,10 @@ func main() {
 	if *resume && *stateDir == "" {
 		log.Fatal("-resume requires -state-dir")
 	}
+	var err error
+	if cfg.Faults, cfg.Retry, err = parseReliability(*faultSpec, *retrySpec); err != nil {
+		log.Fatal(err)
+	}
 
 	start := time.Now()
 	log.Printf("running full evaluation (scale=%s seed=%d)...", *scale, *seed)
@@ -85,6 +109,16 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote CSV exports to %s", *csvDir)
+	}
+	if *relJSON != "" {
+		data, err := res.Reliability().JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*relJSON, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *relJSON)
 	}
 }
 
@@ -172,6 +206,7 @@ Every mechanism behind these gaps is a tunable in ` + "`world.Params`" + ` and
 		experiments.RenderTable5(res.Table5()),
 		experiments.RenderTable5Overlap(res.Table5()),
 		res.RenderFigure2(),
+		res.RenderReliability(),
 	} {
 		sb.WriteString(t.Markdown())
 		sb.WriteString("\n")

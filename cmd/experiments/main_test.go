@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseReliability must produce the typed configs for valid specs and
+// reject out-of-range values with errors naming the offending flag.
+func TestParseReliability(t *testing.T) {
+	fc, rc, err := parseReliability(
+		"loss=0.02,dup=0.01,trunc=0.005,jitter=50ms,outage=fra@24h+6h",
+		"attempts=3,timeout=2s,backoff=100ms,budget=1000")
+	if err != nil {
+		t.Fatalf("valid specs rejected: %v", err)
+	}
+	if fc.Loss != 0.02 || fc.Dup != 0.01 || fc.Trunc != 0.005 || fc.Jitter != 50*time.Millisecond {
+		t.Errorf("fault rates not parsed: %+v", fc)
+	}
+	if len(fc.Outages) != 1 || fc.Outages[0].Target != "fra" ||
+		fc.Outages[0].Start != 24*time.Hour || fc.Outages[0].Duration != 6*time.Hour {
+		t.Errorf("outage not parsed: %+v", fc.Outages)
+	}
+	if rc.Attempts != 3 || rc.Timeout != 2*time.Second || rc.Backoff != 100*time.Millisecond || rc.BudgetPerPoP != 1000 {
+		t.Errorf("retry policy not parsed: %+v", rc)
+	}
+
+	if _, _, err := parseReliability("", ""); err != nil {
+		t.Errorf("empty specs must mean off, got %v", err)
+	}
+
+	bad := []struct{ name, faults, retries, want string }{
+		{"loss above one", "loss=1.5", "", "-faults"},
+		{"trunc below zero", "trunc=-0.5", "", "-faults"},
+		{"bad jitter", "jitter=fast", "", "-faults"},
+		{"zero-length outage", "outage=fra@1h+0s", "", "-faults"},
+		{"zero attempts", "", "attempts=0", "-retries"},
+		{"negative timeout", "", "attempts=2,timeout=-1s", "-retries"},
+		{"unknown retry key", "", "attempts=2,tries=7", "-retries"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := parseReliability(tc.faults, tc.retries)
+			if err == nil {
+				t.Fatalf("parseReliability(%q, %q) = nil, want error", tc.faults, tc.retries)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the flag %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"clientmap/internal/clockx"
 	"clientmap/internal/dnsnet"
 	"clientmap/internal/domains"
+	"clientmap/internal/faults"
 	"clientmap/internal/geo"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
@@ -100,6 +101,16 @@ type Config struct {
 
 	// Universe is the public address space to scan.
 	Universe []netx.Prefix
+
+	// Retry is the per-query retry policy. The zero value is a single
+	// try — the paper's behaviour, where timeouts count as misses.
+	Retry Retry
+
+	// FaultCounters, when the transports are wrapped in fault injectors,
+	// shares the injector counters so every stage can fold its delta of
+	// injected faults into Campaign.Faults. Nil means the substrate is
+	// fault-free (live probing, or simulation without -faults).
+	FaultCounters *faults.Counters
 }
 
 func (c Config) withDefaults() Config {
@@ -179,10 +190,51 @@ type Campaign struct {
 	// times (for temporal analysis of PassMask bits).
 	Passes    int
 	PassTimes []time.Time
-	// ProbesSent counts cache probes issued in stage 4.
+	// ProbesSent counts cache probes issued in stage 4 (retried wire
+	// queries included).
 	ProbesSent int
-	// PreScanQueries counts authoritative queries issued in stage 2.
+	// PreScanQueries counts authoritative queries issued in stage 2
+	// (retried wire queries included).
 	PreScanQueries int
+	// Faults is the campaign's reliability ledger: faults the substrate
+	// injected during its stages and what the retry policy spent and
+	// recovered. Part of the checkpointed artifact, so resumed runs
+	// report the same counts as uninterrupted ones.
+	Faults FaultStats
+}
+
+// FaultStats counts injected transport faults and retry outcomes over a
+// campaign. Every field is an order-independent sum, identical for any
+// worker schedule.
+type FaultStats struct {
+	// InjectedDrops counts probes the fault layer dropped (loss model).
+	InjectedDrops int64 `json:"injected_drops"`
+	// OutageDrops counts probes dropped inside an outage window.
+	OutageDrops int64 `json:"outage_drops"`
+	// Truncations counts responses forced to TC=1.
+	Truncations int64 `json:"truncations"`
+	// Duplicates counts responses duplicated on the wire (absorbed).
+	Duplicates int64 `json:"duplicates"`
+	// RetriesSpent counts extra tries the retry policy issued.
+	RetriesSpent int64 `json:"retries_spent"`
+	// RetriesRecovered counts queries a retry rescued from failure.
+	RetriesRecovered int64 `json:"retries_recovered"`
+	// BudgetExhausted counts queries that were still failing when the
+	// per-PoP retry budget (not the attempt bound) cut them off.
+	BudgetExhausted int64 `json:"budget_exhausted"`
+}
+
+func (f *FaultStats) addInjected(s faults.Stats) {
+	f.InjectedDrops += s.Drops
+	f.OutageDrops += s.OutageDrops
+	f.Truncations += s.Truncations
+	f.Duplicates += s.Duplicates
+}
+
+func (f *FaultStats) addRetries(a *retryAccount) {
+	f.RetriesSpent += int64(a.spent)
+	f.RetriesRecovered += int64(a.recovered)
+	f.BudgetExhausted += int64(a.exhausted)
 }
 
 // NewCampaign returns an empty campaign with every collection

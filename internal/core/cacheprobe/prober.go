@@ -68,6 +68,18 @@ func (p *Prober) txid(key string, attempt int) uint16 {
 	return id
 }
 
+// stageFaults snapshots the shared fault-injector counters and returns a
+// closure that folds the delta — the faults injected during this stage —
+// into the campaign's ledger. The campaign is the checkpointed artifact,
+// so a resumed run reports the same fault counts as an uninterrupted one
+// even though the in-process injector counters reset on restart.
+func (p *Prober) stageFaults(camp *Campaign) func() {
+	before := p.cfg.FaultCounters.Snapshot()
+	return func() {
+		camp.Faults.addInjected(p.cfg.FaultCounters.Snapshot().Sub(before))
+	}
+}
+
 // scheduleCtx stamps ctx with the probe's scheduled time in simulation.
 // Live probing (real clock) keeps genuine arrival times instead.
 func (p *Prober) scheduleCtx(ctx context.Context, at time.Time) context.Context {
@@ -78,11 +90,15 @@ func (p *Prober) scheduleCtx(ctx context.Context, at time.Time) context.Context 
 }
 
 // snoop sends one non-recursive ECS probe and reports (hit, response
-// scope). Timeouts and errors count as misses, as in live probing.
-func (p *Prober) snoop(ctx context.Context, v *Vantage, id uint16, domain string, scope netx.Prefix) (bool, netx.Prefix) {
+// scope). Timeouts and errors count as misses, as in live probing — but
+// with a retry policy configured, each failed try is retried (within the
+// task's budget allowance in acct) before the miss is accepted. key is
+// the probe's content key plus redundancy attempt: the hash domain for
+// backoff jitter and per-try fault decisions.
+func (p *Prober) snoop(ctx context.Context, v *Vantage, id uint16, domain string, scope netx.Prefix, key string, acct *retryAccount) (bool, netx.Prefix) {
 	q := dnswire.NewQuery(id, domain, dnswire.TypeA).WithECS(scope)
 	q.RecursionDesired = false
-	resp, err := v.Exchanger.Exchange(ctx, v.Server, q)
+	resp, err := p.exchange(ctx, v.Exchanger, v.Server, q, key, acct)
 	if err != nil || resp == nil || len(resp.Answers) == 0 {
 		return false, netx.Prefix{}
 	}
@@ -102,7 +118,10 @@ func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) 
 	for i := range p.vantages {
 		v := &p.vantages[i]
 		q := dnswire.NewQuery(p.txid("discover/"+v.Name, 0), "o-o.myaddr.l.google.com", dnswire.TypeTXT)
-		resp, err := v.Exchanger.Exchange(ctx, v.Server, q)
+		// Discovery is one query per vantage: a single drop would lose a
+		// whole PoP for the campaign, so the retry policy applies here
+		// too (unbudgeted — the stage is a handful of queries).
+		resp, err := p.exchange(ctx, v.Exchanger, v.Server, q, "discover/"+v.Name, nil)
 		if err != nil || resp == nil || len(resp.Answers) == 0 {
 			continue // vantage cannot reach the service
 		}
@@ -143,19 +162,28 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 		}
 	}
 
+	fin := p.stageFaults(camp)
+	defer fin()
 	results := make([][]netx.Prefix, len(spans))
+	accounts := make([]retryAccount, len(spans))
 	var queries atomic.Int64
 	par.ForEach(len(spans), p.workers(), func(i int) {
 		sp := spans[i]
+		// The pre-scan has no redundancy: a dropped response silently
+		// loses its scope from the campaign's coverage. Retries apply
+		// (unbudgeted — the per-PoP budget governs the probing stages;
+		// this path talks to the authoritative resolvers).
+		acct := &accounts[i]
+		acct.remaining = -1
 		var scopes []netx.Prefix
 		sent := 0
 		cur := uint32(sp.block.FirstSlash24())
 		end := cur + uint32(sp.block.NumSlash24s())
 		for cur < end {
 			s24 := netx.Slash24(cur)
-			id := p.txid(fmt.Sprintf("prescan/%s/%s", sp.domain, s24), 0)
-			q := dnswire.NewQuery(id, sp.domain, dnswire.TypeA).WithECS(s24.Prefix())
-			resp, err := p.auth.Exchanger.Exchange(ctx, p.auth.Server, q)
+			key := fmt.Sprintf("prescan/%s/%s", sp.domain, s24)
+			q := dnswire.NewQuery(p.txid(key, 0), sp.domain, dnswire.TypeA).WithECS(s24.Prefix())
+			resp, err := p.exchange(ctx, p.auth.Exchanger, p.auth.Server, q, key, acct)
 			sent++
 			if err != nil || resp == nil || resp.EDNS == nil || resp.EDNS.ECS == nil {
 				cur++
@@ -171,8 +199,11 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 			cur = uint32(scope.FirstSlash24()) + uint32(scope.NumSlash24s())
 		}
 		results[i] = scopes
-		queries.Add(int64(sent))
+		queries.Add(int64(sent + acct.spent))
 	})
+	for i := range accounts {
+		camp.Faults.addRetries(&accounts[i])
+	}
 
 	// Merge the spans back per domain, in span order, then sort.
 	si := 0
@@ -230,13 +261,17 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 	sample := p.calibrationSample()
 	popNames := sortedPoPs(pops)
 	sctx := p.scheduleCtx(ctx, p.cfg.Clock.Now())
+	fin := p.stageFaults(camp)
+	defer fin()
 
 	type calResult struct {
 		hit    bool
 		dist   float64
 		probes int
+		retry  retryAccount
 	}
 	cals := make([]*PoPCalibration, len(popNames))
+	retries := make([]retryAccount, len(popNames))
 	var probes atomic.Int64
 	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
 		pop := popNames[pi]
@@ -250,14 +285,16 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 				return
 			}
 			var r calResult
+			r.retry.remaining = p.retryAllowance("calib/"+pop, si, len(sample))
 			hit := false
 			for _, d := range p.cfg.Domains {
 				if d.Microsoft {
 					continue // calibration uses the Alexa picks only
 				}
 				for a := 0; a < p.cfg.Redundancy && !hit; a++ {
-					id := p.txid(fmt.Sprintf("calib/%s/%s/%s", pop, s, d.Name), a)
-					hit, _ = p.snoop(sctx, v, id, d.Name, s.Prefix())
+					key := fmt.Sprintf("calib/%s/%s/%s", pop, s, d.Name)
+					hit, _ = p.snoop(sctx, v, p.txid(key, a), d.Name, s.Prefix(),
+						fmt.Sprintf("%s/%d", key, a), &r.retry)
 					r.probes++
 				}
 				if hit {
@@ -270,7 +307,8 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 			res[si] = r
 		})
 		for _, r := range res {
-			probes.Add(int64(r.probes))
+			probes.Add(int64(r.probes + r.retry.spent))
+			retries[pi].add(&r.retry)
 			if r.hit {
 				cal.HitDistancesKm = append(cal.HitDistancesKm, r.dist)
 			}
@@ -295,6 +333,7 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 	})
 	for pi, pop := range popNames {
 		camp.PoPs[pop] = cals[pi]
+		camp.Faults.addRetries(&retries[pi])
 	}
 	camp.ProbesSent += int(probes.Load())
 }
@@ -335,6 +374,7 @@ type probeResult struct {
 	respScope netx.Prefix
 	at        time.Time
 	probes    int
+	retry     retryAccount
 }
 
 // Assignments is the stage-4 probe plan: per-PoP task lists derived from
@@ -401,6 +441,8 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 
 	passStart := start.Add(time.Duration(pass) * passWindow)
 	camp.PassTimes = append(camp.PassTimes, passStart)
+	fin := p.stageFaults(camp)
+	defer fin()
 	results := make([][]probeResult, len(popNames))
 	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
 		pop := popNames[pi]
@@ -414,9 +456,11 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 			offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
 			tctx := p.scheduleCtx(ctx, passStart.Add(offset))
 			var r probeResult
+			r.retry.remaining = p.retryAllowance(fmt.Sprintf("probe/%d/%s", pass, pop), ti, len(tasks))
 			for a := 0; a < p.cfg.Redundancy; a++ {
-				id := p.txid(fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope), a)
-				hit, respScope := p.snoop(tctx, v, id, tk.domain, tk.scope)
+				key := fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope)
+				hit, respScope := p.snoop(tctx, v, p.txid(key, a), tk.domain, tk.scope,
+					fmt.Sprintf("%s/%d", key, a), &r.retry)
 				r.probes++
 				if hit {
 					r.hit, r.respScope = true, respScope
@@ -433,8 +477,10 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 	// in, so first-hitting-PoP attribution and hit-time order match.
 	for pi, pop := range popNames {
 		tasks := asg.tasks[pi]
-		for ti, r := range results[pi] {
-			camp.ProbesSent += r.probes
+		for ti := range results[pi] {
+			r := &results[pi][ti]
+			camp.ProbesSent += r.probes + r.retry.spent
+			camp.Faults.addRetries(&r.retry)
 			if r.hit {
 				p.recordHit(camp, pass, pop, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
 			}

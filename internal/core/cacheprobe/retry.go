@@ -1,0 +1,245 @@
+package cacheprobe
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"clientmap/internal/clockx"
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/faults"
+)
+
+// Retry is the per-query retry policy. The zero value means a single try
+// — the paper's live behaviour, where a timeout simply counts as a miss.
+type Retry struct {
+	// Attempts is the total tries per logical query (1 = no retries).
+	Attempts int
+	// Timeout bounds each try on real clocks (simulated exchanges are
+	// instantaneous, so no timer is armed there).
+	Timeout time.Duration
+	// Backoff is the base delay before the first retry; it doubles per
+	// retry, plus a hash-derived jitter of up to one base interval. On
+	// scheduled (simulated) queries the delay shifts the scheduled
+	// timestamp; on real clocks it sleeps.
+	Backoff time.Duration
+	// BudgetPerPoP caps the extra tries one PoP may spend per campaign
+	// stage — the stand-in for drawing retries from the per-PoP rate
+	// limiter's token bucket (0 = unlimited). The budget is spread across
+	// the stage's tasks deterministically (see Prober.retryAllowance), so
+	// which probes get retries never depends on worker schedule.
+	BudgetPerPoP int
+}
+
+// Enabled reports whether the policy retries at all.
+func (r Retry) Enabled() bool { return r.Attempts > 1 }
+
+// Validate checks the policy's ranges: non-negative everything.
+func (r Retry) Validate() error {
+	if r.Attempts < 0 {
+		return fmt.Errorf("retries: negative attempts %d", r.Attempts)
+	}
+	if r.Timeout < 0 {
+		return fmt.Errorf("retries: negative timeout %v", r.Timeout)
+	}
+	if r.Backoff < 0 {
+		return fmt.Errorf("retries: negative backoff %v", r.Backoff)
+	}
+	if r.BudgetPerPoP < 0 {
+		return fmt.Errorf("retries: negative budget %d", r.BudgetPerPoP)
+	}
+	return nil
+}
+
+// Fingerprint renders the policy canonically for pipeline stage
+// fingerprints: retry changes re-probe the affected stages.
+func (r Retry) Fingerprint() string {
+	if !r.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("attempts=%d,timeout=%s,backoff=%s,budget=%d",
+		r.Attempts, r.Timeout, r.Backoff, r.BudgetPerPoP)
+}
+
+// ParseRetry parses a -retries flag spec such as
+// "attempts=3,timeout=2s,backoff=100ms,budget=1000". Empty and "off"
+// mean no retries. Ranges are validated: attempts ≥ 1, durations and the
+// budget non-negative.
+func ParseRetry(spec string) (Retry, error) {
+	var r Retry
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return r, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Retry{}, fmt.Errorf("retries: %q is not key=value", kv)
+		}
+		switch k {
+		case "attempts":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Retry{}, fmt.Errorf("retries: attempts %q: %v", v, err)
+			}
+			if n < 1 {
+				return Retry{}, fmt.Errorf("retries: attempts must be ≥ 1, got %d", n)
+			}
+			r.Attempts = n
+		case "timeout", "backoff":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Retry{}, fmt.Errorf("retries: %s %q: %v", k, v, err)
+			}
+			if d < 0 {
+				return Retry{}, fmt.Errorf("retries: %s must be non-negative, got %s", k, d)
+			}
+			if k == "timeout" {
+				r.Timeout = d
+			} else {
+				r.Backoff = d
+			}
+		case "budget":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Retry{}, fmt.Errorf("retries: budget %q: %v", v, err)
+			}
+			if n < 0 {
+				return Retry{}, fmt.Errorf("retries: budget must be non-negative, got %d", n)
+			}
+			r.BudgetPerPoP = n
+		default:
+			return Retry{}, fmt.Errorf("retries: unknown key %q (want attempts, timeout, backoff, budget)", k)
+		}
+	}
+	if r.Attempts == 0 {
+		return Retry{}, fmt.Errorf("retries: spec %q sets no attempts (attempts=N required)", spec)
+	}
+	return r, r.Validate()
+}
+
+// retryAccount is one task's retry ledger: its deterministic allowance of
+// extra tries and what it spent. Each worker owns exactly one account per
+// task slot, so the fields are plain ints; the merge sums them into the
+// campaign in canonical order.
+type retryAccount struct {
+	// remaining is the budgeted extra tries left (-1 = unlimited).
+	remaining int
+	// spent counts extra tries consumed.
+	spent int
+	// recovered counts queries where a retry turned a failure into an
+	// answer.
+	recovered int
+	// exhausted counts queries that were still failing when the budget
+	// clamp (not the policy's attempt bound) cut them off.
+	exhausted int
+}
+
+// add folds another account's spend into this one (merge-time totals).
+func (a *retryAccount) add(o *retryAccount) {
+	a.spent += o.spent
+	a.recovered += o.recovered
+	a.exhausted += o.exhausted
+}
+
+// retryAllowance spreads the per-PoP retry budget across a stage's tasks
+// without any shared state: base share floor(budget/tasks) plus one with
+// probability frac(budget/tasks), decided by a hash of (seed, scope,
+// task index). Expected total equals the budget; each task's allowance is
+// known before it runs, so — unlike a contended token bucket — the
+// outcome cannot depend on worker arrival order. Returns -1 (unlimited by
+// budget) when no budget is set.
+func (p *Prober) retryAllowance(scope string, ti, tasks int) int {
+	r := p.cfg.Retry
+	if !r.Enabled() {
+		return 0
+	}
+	if r.BudgetPerPoP <= 0 || tasks <= 0 {
+		return -1
+	}
+	share := float64(r.BudgetPerPoP) / float64(tasks)
+	allow := int(math.Floor(share))
+	// The task index leads the hash key (FNV-1a avalanches early bytes,
+	// not trailing ones) so neighbouring tasks round independently.
+	if frac := share - float64(allow); frac > 0 &&
+		p.cfg.Seed.HashUnit(fmt.Sprintf("cacheprobe/retrybudget/%d/%s", ti, scope)) < frac {
+		allow++
+	}
+	return allow
+}
+
+// exchange performs one logical query under the retry policy: up to
+// Retry.Attempts tries, exponential backoff between tries with a
+// hash-derived jitter shifting the scheduled timestamp (or sleeping, on
+// real clocks), each retry tagged with its attempt number so the fault
+// layer draws an independent decision for it. Truncated responses are
+// treated as retryable failures — the re-query models the TC=1 → TCP
+// fallback. key must identify the logical query (the txid content key
+// plus redundancy attempt); acct may be nil (no budget, no accounting).
+func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server string, q *dnswire.Message, key string, acct *retryAccount) (*dnswire.Message, error) {
+	r := p.cfg.Retry
+	if !r.Enabled() {
+		return ex.Exchange(ctx, server, q)
+	}
+	extra := r.Attempts - 1
+	clamped := false
+	if acct != nil && acct.remaining >= 0 && acct.remaining < extra {
+		extra = acct.remaining
+		clamped = true
+	}
+	_, sim := p.cfg.Clock.(*clockx.Sim)
+
+	var (
+		resp  *dnswire.Message
+		err   error
+		delay time.Duration
+		try   int
+	)
+	for ; ; try++ {
+		tctx := ctx
+		if try > 0 {
+			step := r.Backoff
+			if step > 0 {
+				step <<= uint(try - 1)
+				// try leads the key (FNV-1a avalanches early bytes only).
+				step += time.Duration(p.cfg.Seed.HashUnit(fmt.Sprintf("cacheprobe/retry/%d/%s", try, key)) * float64(r.Backoff))
+			}
+			delay += step
+			if t, ok := clockx.TimeFrom(ctx); ok {
+				tctx = clockx.WithTime(ctx, t.Add(delay))
+			} else if !sim && step > 0 {
+				p.cfg.Clock.Sleep(step)
+			}
+			tctx = faults.WithAttempt(tctx, try)
+		}
+		cancel := context.CancelFunc(func() {})
+		if r.Timeout > 0 && !sim {
+			tctx, cancel = context.WithTimeout(tctx, r.Timeout)
+		}
+		resp, err = ex.Exchange(tctx, server, q)
+		cancel()
+		if ok := err == nil && resp != nil && !resp.Truncated; ok || try >= extra {
+			break
+		}
+	}
+	if acct != nil {
+		acct.spent += try
+		if acct.remaining > 0 {
+			if acct.remaining -= try; acct.remaining < 0 {
+				acct.remaining = 0
+			}
+		}
+		ok := err == nil && resp != nil && !resp.Truncated
+		if ok && try > 0 {
+			acct.recovered++
+		}
+		if !ok && clamped {
+			acct.exhausted++
+		}
+	}
+	return resp, err
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
@@ -33,6 +34,14 @@ type Config struct {
 	// a name is classified as junk rather than Chromium randomness. Zero
 	// means the paper's 7.
 	DailyThreshold int
+	// OpenAttempts is how many times opening a letter's trace is tried
+	// before the crawl fails — DITL archives live on remote storage where
+	// transient open errors are routine. Zero or one means a single try.
+	OpenAttempts int
+	// OpenBackoff is the base delay between open attempts, doubling per
+	// retry (real time; trace opening happens outside the simulated
+	// clock).
+	OpenBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +75,8 @@ type Result struct {
 	FilteredNames int
 	// LettersRead lists the letters actually crawled.
 	LettersRead []string
+	// OpenRetries counts trace opens that failed and were retried.
+	OpenRetries int
 }
 
 // Resolvers returns the detected resolver addresses in ascending order.
@@ -106,10 +117,34 @@ func Crawl(cfg Config, open func(letter string) (io.ReadCloser, error)) (*Result
 	cfg = cfg.withDefaults()
 	res := &Result{ResolverCounts: make(map[netx.Addr]float64)}
 
+	// openRetry wraps open with the configured retry policy: transient
+	// storage errors should not abort a multi-hour crawl.
+	openRetry := func(letter string) (io.ReadCloser, error) {
+		attempts := cfg.OpenAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		var lastErr error
+		for try := 0; try < attempts; try++ {
+			if try > 0 {
+				res.OpenRetries++
+				if cfg.OpenBackoff > 0 {
+					time.Sleep(cfg.OpenBackoff << uint(try-1))
+				}
+			}
+			rc, err := open(letter)
+			if err == nil {
+				return rc, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	}
+
 	// Pass 1: per-name daily counts.
 	counts := make(map[nameDay]float64)
 	for _, letter := range cfg.Letters {
-		rc, err := open(letter)
+		rc, err := openRetry(letter)
 		if err != nil {
 			return nil, fmt.Errorf("dnslogs: opening %s: %w", letter, err)
 		}
@@ -155,7 +190,7 @@ func Crawl(cfg Config, open func(letter string) (io.ReadCloser, error)) (*Result
 
 	// Pass 2: attribute surviving matches to resolvers.
 	for _, letter := range cfg.Letters {
-		rc, err := open(letter)
+		rc, err := openRetry(letter)
 		if err != nil {
 			return nil, fmt.Errorf("dnslogs: reopening %s: %w", letter, err)
 		}

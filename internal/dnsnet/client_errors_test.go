@@ -1,0 +1,254 @@
+package dnsnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clientmap/internal/dnswire"
+)
+
+// reply builds a valid marshalled answer to q, optionally with a forged
+// transaction id.
+func reply(t *testing.T, q *dnswire.Message, id uint16) []byte {
+	t.Helper()
+	r := q.Reply()
+	r.ID = id
+	r.Answers = []dnswire.RR{{Name: q.Question().Name, Class: dnswire.ClassINET, TTL: 60, Data: dnswire.A{Addr: 1}}}
+	wire, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// udpMisbehaver serves raw datagrams on loopback: for every decodable
+// query it sends back whatever respond returns, in order — garbage,
+// forged ids, nothing at all.
+func udpMisbehaver(t *testing.T, respond func(q *dnswire.Message) [][]byte) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, raddr, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnswire.Unmarshal(buf[:n])
+			if err != nil {
+				continue
+			}
+			for _, wire := range respond(q) {
+				_, _ = pc.WriteTo(wire, raddr)
+			}
+		}
+	}()
+	return pc.LocalAddr().String()
+}
+
+// TestUDPClientMisbehavingServer drives the UDP client against servers
+// that time out, speak garbage, or answer with the wrong transaction id.
+// The client must surface silence as ErrTimeout and skip past undecodable
+// or mismatched datagrams to a later valid answer.
+func TestUDPClientMisbehavingServer(t *testing.T) {
+	cases := []struct {
+		name    string
+		respond func(q *dnswire.Message) [][]byte
+		wantErr error // nil = want the valid answer
+	}{
+		{
+			name:    "never responds",
+			respond: func(*dnswire.Message) [][]byte { return nil },
+			wantErr: ErrTimeout,
+		},
+		{
+			name: "only malformed datagrams",
+			respond: func(*dnswire.Message) [][]byte {
+				return [][]byte{{0xde, 0xad}, {0xbe, 0xef, 0x00}}
+			},
+			wantErr: ErrTimeout,
+		},
+		{
+			name: "only wrong-id answers",
+			respond: func(q *dnswire.Message) [][]byte {
+				return [][]byte{reply(t, q, q.ID+1)}
+			},
+			wantErr: ErrTimeout,
+		},
+		{
+			name: "malformed then valid",
+			respond: func(q *dnswire.Message) [][]byte {
+				return [][]byte{{0xff}, reply(t, q, q.ID)}
+			},
+		},
+		{
+			name: "stale id then valid",
+			respond: func(q *dnswire.Message) [][]byte {
+				return [][]byte{reply(t, q, q.ID^0x5555), reply(t, q, q.ID)}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := udpMisbehaver(t, tc.respond)
+			cl := &UDPClient{Timeout: 300 * time.Millisecond}
+			resp, err := cl.Exchange(context.Background(), addr,
+				dnswire.NewQuery(4242, "probe.test", dnswire.TypeA))
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("exchange failed: %v", err)
+			}
+			if resp.ID != 4242 || len(resp.Answers) != 1 {
+				t.Fatalf("bad response: %+v", resp)
+			}
+		})
+	}
+}
+
+// tcpMisbehaver serves raw TCP on loopback, handing each accepted
+// connection (with its 0-based index) to handle. The returned counter
+// reports how many connections the client opened — the reconnect-retry
+// assertions read it.
+func tcpMisbehaver(t *testing.T, handle func(conn net.Conn, nth int)) (string, *atomic.Int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var conns atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			nth := int(conns.Add(1)) - 1
+			go handle(conn, nth)
+		}
+	}()
+	return ln.Addr().String(), &conns
+}
+
+// answerTCP reads one framed query off conn and answers it validly.
+func answerTCP(conn net.Conn) {
+	q, err := dnswire.ReadTCP(conn)
+	if err != nil {
+		return
+	}
+	r := q.Reply()
+	r.Answers = []dnswire.RR{{Name: q.Question().Name, Class: dnswire.ClassINET, TTL: 60, Data: dnswire.A{Addr: 1}}}
+	_ = dnswire.WriteTCP(conn, r)
+}
+
+// TestTCPClientMisbehavingServer drives the TCP client against servers
+// that go silent, drop the connection mid-exchange, or frame garbage. A
+// mid-stream drop must be healed by exactly one reconnect retry; silence
+// is ErrTimeout; a forged transaction id is ErrIDMismatch.
+func TestTCPClientMisbehavingServer(t *testing.T) {
+	cases := []struct {
+		name       string
+		handle     func(conn net.Conn, nth int)
+		wantErr    error // nil = want the valid answer
+		wantAnyErr bool  // any non-nil error is acceptable (transport-dependent)
+		wantConns  int32 // 0 = don't check
+	}{
+		{
+			name: "never responds",
+			handle: func(conn net.Conn, _ int) {
+				_, _ = dnswire.ReadTCP(conn) // swallow the query, say nothing
+				select {}
+			},
+			wantErr: ErrTimeout,
+		},
+		{
+			name: "mid-stream drop healed by one reconnect",
+			handle: func(conn net.Conn, nth int) {
+				defer conn.Close()
+				if nth == 0 {
+					_, _ = dnswire.ReadTCP(conn)
+					return // drop after reading the query
+				}
+				answerTCP(conn)
+			},
+			wantConns: 2,
+		},
+		{
+			name: "drops every connection",
+			handle: func(conn net.Conn, _ int) {
+				conn.Close()
+			},
+			wantAnyErr: true,
+			wantConns:  2, // the single reconnect retry, then give up
+		},
+		{
+			name: "malformed framed reply",
+			handle: func(conn net.Conn, _ int) {
+				defer conn.Close()
+				if _, err := dnswire.ReadTCP(conn); err != nil {
+					return
+				}
+				_, _ = conn.Write([]byte{0x00, 0x03, 0xde, 0xad, 0xbf})
+			},
+			wantAnyErr: true,
+		},
+		{
+			name: "wrong transaction id",
+			handle: func(conn net.Conn, _ int) {
+				defer conn.Close()
+				q, err := dnswire.ReadTCP(conn)
+				if err != nil {
+					return
+				}
+				r := q.Reply()
+				r.ID = q.ID ^ 0x7777
+				_ = dnswire.WriteTCP(conn, r)
+			},
+			wantErr: ErrIDMismatch,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr, conns := tcpMisbehaver(t, tc.handle)
+			cl := &TCPClient{Timeout: 300 * time.Millisecond}
+			defer cl.Close()
+			resp, err := cl.Exchange(context.Background(), addr,
+				dnswire.NewQuery(999, "probe.test", dnswire.TypeA))
+			switch {
+			case tc.wantErr != nil:
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+			case tc.wantAnyErr:
+				if err == nil {
+					t.Fatal("exchange succeeded, want an error")
+				}
+			default:
+				if err != nil {
+					t.Fatalf("exchange failed: %v", err)
+				}
+				if resp.ID != 999 {
+					t.Fatalf("response ID = %d", resp.ID)
+				}
+			}
+			if tc.wantConns > 0 {
+				if got := conns.Load(); got != tc.wantConns {
+					t.Errorf("client opened %d connections, want %d", got, tc.wantConns)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package dnsnet
+
+import (
+	"context"
+
+	"clientmap/internal/dnswire"
+)
+
+// FallbackClient is the standard resolver transport strategy: try UDP
+// first and, when the response comes back truncated (TC=1 — the answer
+// did not fit in a datagram, or the server is pushing the client off
+// UDP), repeat the query over TCP. The fault layer's forced truncations
+// drive exactly this path.
+type FallbackClient struct {
+	// UDP carries the first try.
+	UDP Exchanger
+	// TCP carries the fallback.
+	TCP Exchanger
+	// TCPServer maps the UDP server name to its TCP counterpart; nil
+	// reuses the same name.
+	TCPServer func(udpServer string) string
+}
+
+// Exchange implements Exchanger.
+func (c *FallbackClient) Exchange(ctx context.Context, server string, query *dnswire.Message) (*dnswire.Message, error) {
+	resp, err := c.UDP.Exchange(ctx, server, query)
+	if err != nil || resp == nil || !resp.Truncated {
+		return resp, err
+	}
+	s := server
+	if c.TCPServer != nil {
+		s = c.TCPServer(server)
+	}
+	return c.TCP.Exchange(ctx, s, query)
+}

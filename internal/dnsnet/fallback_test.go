@@ -1,0 +1,95 @@
+package dnsnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+)
+
+// scriptedExchanger answers from a fixed script and records the servers
+// it was asked for.
+type scriptedExchanger struct {
+	resp    *dnswire.Message
+	err     error
+	servers []string
+}
+
+func (s *scriptedExchanger) Exchange(_ context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	s.servers = append(s.servers, server)
+	if s.resp != nil {
+		r := *s.resp
+		r.ID = q.ID
+		return &r, s.err
+	}
+	return nil, s.err
+}
+
+func truncated() *dnswire.Message {
+	return &dnswire.Message{Response: true, Truncated: true}
+}
+
+func full() *dnswire.Message {
+	return &dnswire.Message{Response: true, Answers: []dnswire.RR{{
+		Name: "x.test", Class: dnswire.ClassINET, TTL: 60, Data: dnswire.A{Addr: netx.MustParseAddr("192.0.2.1")},
+	}}}
+}
+
+func TestFallbackClient(t *testing.T) {
+	q := dnswire.NewQuery(5, "x.test", dnswire.TypeA)
+
+	t.Run("clean UDP answer stays on UDP", func(t *testing.T) {
+		udp := &scriptedExchanger{resp: full()}
+		tcp := &scriptedExchanger{resp: full()}
+		fc := &FallbackClient{UDP: udp, TCP: tcp}
+		resp, err := fc.Exchange(context.Background(), "s", q)
+		if err != nil || len(resp.Answers) != 1 {
+			t.Fatalf("resp=%+v err=%v", resp, err)
+		}
+		if len(tcp.servers) != 0 {
+			t.Error("TCP used for an untruncated UDP answer")
+		}
+	})
+
+	t.Run("TC=1 falls back to TCP", func(t *testing.T) {
+		udp := &scriptedExchanger{resp: truncated()}
+		tcp := &scriptedExchanger{resp: full()}
+		fc := &FallbackClient{UDP: udp, TCP: tcp}
+		resp, err := fc.Exchange(context.Background(), "s", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Truncated || len(resp.Answers) != 1 {
+			t.Fatalf("fallback answer = %+v", resp)
+		}
+		if len(tcp.servers) != 1 || tcp.servers[0] != "s" {
+			t.Errorf("TCP exchanges = %v, want [s]", tcp.servers)
+		}
+	})
+
+	t.Run("TCPServer maps the server name", func(t *testing.T) {
+		udp := &scriptedExchanger{resp: truncated()}
+		tcp := &scriptedExchanger{resp: full()}
+		fc := &FallbackClient{UDP: udp, TCP: tcp, TCPServer: func(s string) string { return s + "/tcp" }}
+		if _, err := fc.Exchange(context.Background(), "8.8.8.8", q); err != nil {
+			t.Fatal(err)
+		}
+		if len(tcp.servers) != 1 || tcp.servers[0] != "8.8.8.8/tcp" {
+			t.Errorf("TCP exchanges = %v, want [8.8.8.8/tcp]", tcp.servers)
+		}
+	})
+
+	t.Run("UDP errors pass through without fallback", func(t *testing.T) {
+		udp := &scriptedExchanger{err: ErrTimeout}
+		tcp := &scriptedExchanger{resp: full()}
+		fc := &FallbackClient{UDP: udp, TCP: tcp}
+		if _, err := fc.Exchange(context.Background(), "s", q); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+		if len(tcp.servers) != 0 {
+			t.Error("TCP used after a UDP transport error")
+		}
+	})
+}

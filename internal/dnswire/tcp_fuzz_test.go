@@ -1,0 +1,81 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+
+	"clientmap/internal/netx"
+)
+
+// frame length-prefixes wire bytes the way WriteTCP does, without the
+// marshalling — so the corpus can contain frames no encoder would emit.
+func frame(wire []byte) []byte {
+	f := make([]byte, 2+len(wire))
+	f[0], f[1] = byte(len(wire)>>8), byte(len(wire))
+	copy(f[2:], wire)
+	return f
+}
+
+// FuzzReadTCP exercises the TCP length-prefix framing with arbitrary
+// stream bytes: torn reads (the stream arriving one byte at a time, as
+// TCP segments may), oversize length prefixes promising more than the
+// stream holds, zero-length frames, and garbage payloads. ReadTCP must
+// never panic, must fail cleanly on short streams, and must decode the
+// same message from a torn stream as from a whole one.
+func FuzzReadTCP(f *testing.F) {
+	q := NewQuery(7, "www.google.com", TypeA).WithECS(netx.MustParsePrefix("192.0.2.0/24"))
+	wire, _ := q.Marshal()
+	var whole bytes.Buffer
+	if err := WriteTCP(&whole, q); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(whole.Bytes())                              // well-formed frame
+	f.Add(frame(nil))                                 // zero-length frame
+	f.Add([]byte{0xFF, 0xFF, 0x00})                   // oversize length, torn payload
+	f.Add(whole.Bytes()[:len(whole.Bytes())/2])       // torn mid-message
+	f.Add([]byte{0x00})                               // torn mid-length
+	f.Add(frame(bytes.Repeat([]byte{0xC0, 0x0C}, 8))) // framed garbage
+	f.Add(append(frame(wire), frame(wire)...))        // two frames back to back
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadTCP(bytes.NewReader(data))
+
+		// Torn reads must not change the outcome: a stream delivered one
+		// byte at a time decodes to the same message (or fails the same
+		// way) as the whole buffer.
+		tm, terr := ReadTCP(iotest.OneByteReader(bytes.NewReader(data)))
+		if (err == nil) != (terr == nil) {
+			t.Fatalf("torn read disagrees: whole err=%v, torn err=%v", err, terr)
+		}
+
+		if err != nil {
+			// Failures must be clean read/decode errors; a short stream is
+			// io.EOF or io.ErrUnexpectedEOF, never a panic upstream.
+			if len(data) < 2 && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("short stream gave %v, want EOF-ish", err)
+			}
+			return
+		}
+		if m.ID != tm.ID || len(m.Questions) != len(tm.Questions) || len(m.Answers) != len(tm.Answers) {
+			t.Fatalf("torn read decoded a different message:\n %+v\n %+v", m, tm)
+		}
+
+		// Whatever decoded must survive re-framing: WriteTCP → ReadTCP is
+		// the identity on (ID, sections).
+		var buf bytes.Buffer
+		if err := WriteTCP(&buf, m); err != nil {
+			return // decodable but not re-encodable (e.g. empty labels) is acceptable
+		}
+		m2, err := ReadTCP(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if m2.ID != m.ID || len(m2.Questions) != len(m.Questions) ||
+			len(m2.Answers) != len(m.Answers) || m2.RCode != m.RCode {
+			t.Fatalf("frame round-trip drift:\n %+v\n %+v", m, m2)
+		}
+	})
+}

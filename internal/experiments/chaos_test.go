@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/faults"
+	"clientmap/internal/pipeline"
+	"clientmap/internal/randx"
+	"clientmap/internal/world"
+)
+
+// TestChaosCampaignDeterminism is the fault-injection layer's headline
+// guarantee, in two halves:
+//
+//  1. A campaign under injected chaos — 2% packet loss plus a 4-hour
+//     outage window blacking out one vantage's path — is still exactly as
+//     deterministic as a fault-free one: byte-identical results across
+//     worker counts and across a mid-campaign kill-and-resume. Fault
+//     decisions are pure hashes of (seed, target, txid, attempt), so
+//     neither scheduling nor the checkpoint boundary can change them.
+//  2. The retry policy earns its keep: with retries the campaign's prefix
+//     coverage recovers to within 1% of the zero-loss baseline, while the
+//     same chaos without retries measurably undercounts.
+func TestChaosCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run ScaleSmall campaign")
+	}
+	base := DefaultConfig(randx.Seed(2021), world.ScaleSmall)
+	base.CampaignDuration = 24 * time.Hour
+	base.Passes = 3
+	base.TraceDuration = 6 * time.Hour
+
+	// Zero-loss baseline: the coverage the techniques achieve on a
+	// perfectly reliable substrate, and the vantage catalog to pick an
+	// outage victim from.
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCov := clean.PfxCacheProbe.Len()
+	if cleanCov == 0 {
+		t.Fatal("baseline run found no active prefixes")
+	}
+	victim := clean.Sys.Vantages()[0].Name
+
+	// The chaos configuration: 2% loss everywhere, plus one vantage dark
+	// for hours 2-6 of the campaign (after PoP discovery, across the
+	// early probing). Retries: 3 attempts with a small backoff.
+	chaos := base
+	chaos.Faults = faults.Config{
+		Loss:    0.02,
+		Outages: []faults.Outage{{Target: victim, Start: 2 * time.Hour, Duration: 4 * time.Hour}},
+	}
+	chaos.Retry = cacheprobe.Retry{Attempts: 3, Backoff: 100 * time.Millisecond}
+
+	// (1a) Worker-count determinism under chaos.
+	c1 := chaos
+	c1.Workers = 1
+	w1, err := Run(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8 := chaos
+	c8.Workers = 8
+	w8, err := Run(c8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "workers=1", "workers=8", w1, w8)
+	if w1.Campaign.Faults != w8.Campaign.Faults {
+		t.Errorf("fault ledgers differ:\nworkers=1 %+v\nworkers=8 %+v", w1.Campaign.Faults, w8.Campaign.Faults)
+	}
+	if w1.RenderAll() != w8.RenderAll() {
+		t.Error("rendered reports differ between worker counts under chaos")
+	}
+
+	// The chaos must actually have happened, and the retry policy must
+	// actually have been exercised — otherwise the test proves nothing.
+	fl := w1.Campaign.Faults
+	if fl.InjectedDrops == 0 {
+		t.Error("no loss drops injected")
+	}
+	if fl.OutageDrops == 0 {
+		t.Error("no outage drops injected")
+	}
+	if fl.RetriesSpent == 0 || fl.RetriesRecovered == 0 {
+		t.Errorf("retry policy idle under 2%% loss: %+v", fl)
+	}
+
+	// (1b) Kill-and-resume determinism under chaos: stop right after
+	// probing pass 1 checkpoints, resume in a "fresh process", and demand
+	// results — fault ledger included — identical to the uninterrupted
+	// chaos run.
+	dir := t.TempDir()
+	kcfg := chaos
+	kcfg.Workers = 8
+	kcfg.StateDir = dir
+	kcfg.StopAfter = ProbePassStage(1)
+	if _, err := Run(kcfg); !errors.Is(err, pipeline.ErrStopped) {
+		t.Fatalf("stopped run: got error %v, want pipeline.ErrStopped", err)
+	}
+	rcfg := chaos
+	rcfg.Workers = 8
+	rcfg.StateDir = dir
+	rcfg.Resume = true
+	rlog := &logCapture{}
+	rcfg.Log = rlog.logf
+	resumed, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rlog.count("probe-pass-1: restored checkpoint"); n != 1 {
+		t.Errorf("probe-pass-1 restored %d times, want 1 (resume did not reuse the killed run)", n)
+	}
+	compareResults(t, "uninterrupted", "resumed", w1, resumed)
+	if resumed.Campaign.Faults != w1.Campaign.Faults {
+		t.Errorf("fault ledger changed across resume:\nuninterrupted %+v\nresumed %+v", w1.Campaign.Faults, resumed.Campaign.Faults)
+	}
+	if w1.RenderAll() != resumed.RenderAll() {
+		t.Error("rendered reports differ between the uninterrupted and the resumed chaos run")
+	}
+
+	// (2) Coverage is recall of the zero-loss baseline's active-prefix
+	// set: the fraction of the prefixes a reliable campaign finds that
+	// the chaotic one still finds. (The raw prefix *count* is not a
+	// loss signal — a dropped pre-scan response shifts the discovered
+	// scope boundaries, which can even inflate the /24 expansion.)
+	recall := func(r *Results) float64 {
+		return float64(r.PfxCacheProbe.Set.IntersectCount(clean.PfxCacheProbe.Set)) / float64(cleanCov)
+	}
+
+	// With retries the campaign recovers to within 1% of the baseline...
+	chaosRecall := recall(w1)
+	if chaosRecall < 0.99 {
+		t.Errorf("baseline recall under chaos with retries = %.4f, want ≥ 0.99", chaosRecall)
+	}
+
+	// ...while the same chaos without retries measurably undercounts: the
+	// pre-scan and discovery stages have no redundancy, so every dropped
+	// query there is scope lost for the whole campaign.
+	bare := chaos
+	bare.Retry = cacheprobe.Retry{}
+	noretry, err := Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareRecall := recall(noretry)
+	if bareRecall >= chaosRecall {
+		t.Errorf("baseline recall without retries (%.4f) not below recall with retries (%.4f)", bareRecall, chaosRecall)
+	}
+	t.Logf("baseline %d prefixes; recall with retries %.4f, without %.4f; ledger %+v",
+		cleanCov, chaosRecall, bareRecall, fl)
+}

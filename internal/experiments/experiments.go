@@ -20,6 +20,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/core/datasets"
 	"clientmap/internal/core/dnslogs"
+	"clientmap/internal/faults"
 	"clientmap/internal/randx"
 	"clientmap/internal/routeviews"
 	"clientmap/internal/sim"
@@ -56,6 +57,17 @@ type Config struct {
 	// see cacheprobe.Config.Workers. Deliberately absent from stage
 	// fingerprints for the same reason.
 	Workers int
+
+	// Faults injects deterministic transport faults into the campaign's
+	// measurement substrate — packet loss, duplication, latency jitter,
+	// forced truncation, per-target outage windows. The zero value is the
+	// perfectly reliable substrate. The fault seed is keyed to Seed; any
+	// other field change invalidates the campaign-chain checkpoints.
+	Faults faults.Config
+	// Retry is the probers' (and the DITL ingester's) per-query retry
+	// policy; the zero value is a single try, where timeouts count as
+	// misses exactly as the paper's live probing treats them.
+	Retry cacheprobe.Retry
 
 	// StateDir is the pipeline checkpoint directory; empty disables
 	// checkpointing (the whole run happens in memory, as before).

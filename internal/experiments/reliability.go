@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/report"
+)
+
+// Reliability is the run's fault/retry ledger: what the substrate
+// injected during the campaign and what the retry policy spent and
+// recovered. Campaign counters come from the checkpointed Campaign
+// artifact, so a resumed run reports the same numbers as an
+// uninterrupted one.
+type Reliability struct {
+	CacheProbing       cacheprobe.FaultStats `json:"cache_probing"`
+	DNSLogsOpenRetries int                   `json:"dns_logs_open_retries"`
+}
+
+// Reliability extracts the ledger from a run's results.
+func (r *Results) Reliability() Reliability {
+	rel := Reliability{}
+	if r.Campaign != nil {
+		rel.CacheProbing = r.Campaign.Faults
+	}
+	if r.DNSLogs != nil {
+		rel.DNSLogsOpenRetries = r.DNSLogs.OpenRetries
+	}
+	return rel
+}
+
+// JSON renders the ledger as indented JSON for the cmds' report files.
+func (rel Reliability) JSON() ([]byte, error) {
+	return json.MarshalIndent(rel, "", "  ")
+}
+
+// RenderReliability renders the ledger as a report table. All zeros on a
+// fault-free run without retries — the table still prints, so report
+// consumers can rely on its presence.
+func (r *Results) RenderReliability() *report.Table {
+	rel := r.Reliability()
+	t := &report.Table{
+		Title:  "Campaign reliability (injected faults and retry policy)",
+		Header: []string{"Counter", "Count"},
+	}
+	row := func(name string, v int64) { t.AddRow(name, fmt.Sprintf("%d", v)) }
+	row("Injected drops (loss)", rel.CacheProbing.InjectedDrops)
+	row("Injected drops (outage windows)", rel.CacheProbing.OutageDrops)
+	row("Forced truncations (TC=1)", rel.CacheProbing.Truncations)
+	row("Duplicated responses", rel.CacheProbing.Duplicates)
+	row("Retries spent", rel.CacheProbing.RetriesSpent)
+	row("Queries recovered by retry", rel.CacheProbing.RetriesRecovered)
+	row("Queries cut off by retry budget", rel.CacheProbing.BudgetExhausted)
+	row("DITL trace-open retries", int64(rel.DNSLogsOpenRetries))
+	return t
+}

@@ -194,6 +194,9 @@ func (r *Results) RenderAll() string {
 	sb.WriteString(fig5.String())
 	sb.WriteByte('\n')
 
+	sb.WriteString(r.RenderReliability().String())
+	sb.WriteByte('\n')
+
 	head := &report.Table{Title: "Headline statistics (§1/§4)", Header: []string{"Statistic", "Paper", "Measured"}}
 	for _, c := range CompareHeadline(r.ComputeHeadline()) {
 		head.AddRow(c.Name, c.Paper, c.Measured)

@@ -214,19 +214,31 @@ func newStagedRun(cfg Config) *stagedRun {
 	campStart := clockx.Epoch
 	campEnd := campStart.Add(cfg.CampaignDuration)
 	base := fmt.Sprintf("seed=%d scale=%+v", cfg.Seed, cfg.Scale)
+	// The reliability knobs change what the campaign measures, so they
+	// are part of every campaign-chain fingerprint: a checkpoint probed
+	// under one fault model or retry policy is stale under another. The
+	// world and baseline chains never touch the faulty transports and
+	// keep their fingerprints.
+	campFP := fmt.Sprintf("%s faults=%s retry=%s", base, cfg.Faults.Fingerprint(), cfg.Retry.Fingerprint())
 
 	sr.world = pipeline.AddStage(r, StageWorld, base, nil, nil,
 		func(ctx context.Context) (*sim.System, error) {
 			return sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 		})
 
-	setup := pipeline.AddStage(r, StageSetup, base, deps(sr.world), nil,
+	setup := pipeline.AddStage(r, StageSetup, campFP, deps(sr.world), nil,
 		func(ctx context.Context) (*campaignEnv, error) {
 			sys := sr.world.Out()
+			if cfg.Faults.Enabled() {
+				fcfg := cfg.Faults
+				fcfg.Seed = cfg.Seed
+				sys.InjectFaults(fcfg, campStart)
+			}
 			pcfg := sys.ProberConfig()
 			pcfg.Duration = cfg.CampaignDuration
 			pcfg.Passes = cfg.Passes
 			pcfg.Workers = cfg.Workers
+			pcfg.Retry = cfg.Retry
 			prober := sys.Prober(pcfg)
 			pops, err := prober.DiscoverPoPs(ctx)
 			if err != nil {
@@ -235,7 +247,7 @@ func newStagedRun(cfg Config) *stagedRun {
 			return &campaignEnv{sys: sys, prober: prober, pops: pops}, nil
 		})
 
-	prescan := pipeline.AddStage(r, StagePreScan, base, deps(sr.world, setup), campaignCodec,
+	prescan := pipeline.AddStage(r, StagePreScan, campFP, deps(sr.world, setup), campaignCodec,
 		func(ctx context.Context) (*cacheprobe.Campaign, error) {
 			camp := cacheprobe.NewCampaign()
 			if err := setup.Out().prober.PreScan(ctx, camp); err != nil {
@@ -244,7 +256,7 @@ func newStagedRun(cfg Config) *stagedRun {
 			return camp, nil
 		})
 
-	calibrate := pipeline.AddStage(r, StageCalibrate, base, deps(setup, prescan), campaignCodec,
+	calibrate := pipeline.AddStage(r, StageCalibrate, campFP, deps(setup, prescan), campaignCodec,
 		func(ctx context.Context) (*cacheprobe.Campaign, error) {
 			env := setup.Out()
 			camp := prescan.Out()
@@ -257,7 +269,7 @@ func newStagedRun(cfg Config) *stagedRun {
 	prev := calibrate
 	for k := 0; k < cfg.Passes; k++ {
 		k, upstream := k, prev
-		passFP := fmt.Sprintf("%s dur=%s passes=%d pass=%d", base, cfg.CampaignDuration, cfg.Passes, k)
+		passFP := fmt.Sprintf("%s dur=%s passes=%d pass=%d", campFP, cfg.CampaignDuration, cfg.Passes, k)
 		prev = pipeline.AddStage(r, ProbePassStage(k), passFP, deps(setup, upstream), campaignCodec,
 			func(ctx context.Context) (*cacheprobe.Campaign, error) {
 				env := setup.Out()
@@ -274,7 +286,7 @@ func newStagedRun(cfg Config) *stagedRun {
 			return struct{}{}, nil
 		})
 
-	logsFP := fmt.Sprintf("%s trace=%s cap=%d end=%s", base, cfg.TraceDuration, cfg.PerSourceHourCap, campEnd.Format(time.RFC3339))
+	logsFP := fmt.Sprintf("%s trace=%s cap=%d end=%s retry=%s", base, cfg.TraceDuration, cfg.PerSourceHourCap, campEnd.Format(time.RFC3339), cfg.Retry.Fingerprint())
 	sr.dnsLogs = pipeline.AddStage(r, StageDNSLogs, logsFP, deps(sr.world), dnslogsCodec,
 		func(ctx context.Context) (*dnslogs.Result, error) {
 			return runDNSLogs(cfg, sr.world.Out(), campEnd)
@@ -332,7 +344,12 @@ func runDNSLogs(cfg Config, sys *sim.System, campEnd time.Time) (*dnslogs.Result
 	if err != nil {
 		return nil, fmt.Errorf("trace generation: %w", err)
 	}
-	res, err := dnslogs.Crawl(dnslogs.Config{}, func(letter string) (io.ReadCloser, error) {
+	res, err := dnslogs.Crawl(dnslogs.Config{
+		// The ingester shares the campaign's retry policy: transient
+		// trace-open failures retry with the same attempt/backoff knobs.
+		OpenAttempts: cfg.Retry.Attempts,
+		OpenBackoff:  cfg.Retry.Backoff,
+	}, func(letter string) (io.ReadCloser, error) {
 		return os.Open(filepath.Join(dir, "root-"+letter+".ditl"))
 	})
 	if err != nil {

@@ -1,0 +1,272 @@
+// Package faults is a seeded, deterministic fault-injection layer for the
+// DNS substrate. An Injector decorates any dnsnet.Exchanger — the
+// in-memory transport's clients, the loopback UDP/TCP clients — and
+// injects the failure modes live probing meets on the real Internet:
+// packet loss, response duplication, latency jitter, forced TC=1
+// truncation (driving UDP→TCP fallback) and windowed per-target outages.
+//
+// Every fault decision is a pure hash of (seed, target, server, txid,
+// attempt) — never a draw from shared math/rand state — so a faulty
+// campaign is bit-identical for any worker count and across
+// checkpoint/resume: the k-th retry of probe X is dropped in every
+// schedule or in none. Outage windows are evaluated against the query's
+// *scheduled* timestamp (clockx.WithTime) when present, which keeps them
+// deterministic under the parallel probing engine too.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"clientmap/internal/clockx"
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/randx"
+)
+
+// Config describes the fault model. The zero value injects nothing.
+type Config struct {
+	// Seed keys every fault decision. Campaign harnesses overwrite it
+	// with the run seed so one seed reproduces world, probes and faults.
+	Seed randx.Seed
+	// Loss is the probability in [0,1] that a query is dropped (the
+	// client observes a timeout).
+	Loss float64
+	// Dup is the probability in [0,1] that a response is duplicated on
+	// the wire. Exchange semantics absorb the duplicate (stub resolvers
+	// discard stale datagrams), so duplication surfaces only in the
+	// counters — and in the UDP client's tolerance tests.
+	Dup float64
+	// Trunc is the probability in [0,1] that a response comes back with
+	// TC=1 and its answers stripped, forcing the client to fall back to
+	// TCP (dnsnet.FallbackClient) or to retry.
+	Trunc float64
+	// Jitter is the maximum extra latency per query; the injected delay
+	// is a hash-derived fraction of it. On scheduled (simulated) queries
+	// the delay shifts the scheduled timestamp; on real clocks it sleeps.
+	Jitter time.Duration
+	// Outages are windowed per-target blackouts: every query to a
+	// matching target inside the window is dropped.
+	Outages []Outage
+}
+
+// Outage is one blackout window, expressed as offsets from the
+// injector's epoch (the campaign start).
+type Outage struct {
+	// Target names the injector the outage applies to (a vantage name,
+	// "auth", …); empty matches every target.
+	Target string
+	// Start is the window's offset from the epoch.
+	Start time.Duration
+	// Duration is the window length.
+	Duration time.Duration
+}
+
+func (o Outage) covers(target string, sinceEpoch time.Duration) bool {
+	if o.Target != "" && o.Target != target {
+		return false
+	}
+	return sinceEpoch >= o.Start && sinceEpoch < o.Start+o.Duration
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.Loss > 0 || c.Dup > 0 || c.Trunc > 0 || c.Jitter > 0 || len(c.Outages) > 0
+}
+
+// Validate checks every knob's range: rates in [0,1], non-negative
+// durations, positive outage windows.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"loss", c.Loss}, {"dup", c.Dup}, {"trunc", c.Trunc}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("faults: negative jitter %v", c.Jitter)
+	}
+	for _, o := range c.Outages {
+		if o.Start < 0 {
+			return fmt.Errorf("faults: outage %q starts before the campaign (%v)", o.Target, o.Start)
+		}
+		if o.Duration <= 0 {
+			return fmt.Errorf("faults: outage %q has non-positive duration %v", o.Target, o.Duration)
+		}
+	}
+	return nil
+}
+
+// Fingerprint renders the fault model canonically for pipeline stage
+// fingerprints: any change to it must invalidate the campaign's
+// checkpoints. The seed is deliberately absent — harnesses key it to the
+// run seed, which the stage fingerprints already carry.
+func (c Config) Fingerprint() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loss=%g,dup=%g,trunc=%g,jitter=%s", c.Loss, c.Dup, c.Trunc, c.Jitter)
+	outs := append([]Outage(nil), c.Outages...)
+	sort.Slice(outs, func(i, j int) bool {
+		if outs[i].Target != outs[j].Target {
+			return outs[i].Target < outs[j].Target
+		}
+		return outs[i].Start < outs[j].Start
+	})
+	for _, o := range outs {
+		fmt.Fprintf(&sb, ",outage=%s@%s+%s", o.Target, o.Start, o.Duration)
+	}
+	return sb.String()
+}
+
+// Counters accumulates injected-fault totals across every injector that
+// shares them. Totals are order-independent sums, so they are identical
+// for any worker schedule.
+type Counters struct {
+	drops, outageDrops, truncations, duplicates atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of Counters. Stage harnesses diff two
+// snapshots to attribute a stage's injected faults to its artifact.
+type Stats struct {
+	Drops       int64
+	OutageDrops int64
+	Truncations int64
+	Duplicates  int64
+}
+
+// Snapshot returns the current totals.
+func (c *Counters) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Drops:       c.drops.Load(),
+		OutageDrops: c.outageDrops.Load(),
+		Truncations: c.truncations.Load(),
+		Duplicates:  c.duplicates.Load(),
+	}
+}
+
+// Sub returns s - o, the faults injected between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Drops:       s.Drops - o.Drops,
+		OutageDrops: s.OutageDrops - o.OutageDrops,
+		Truncations: s.Truncations - o.Truncations,
+		Duplicates:  s.Duplicates - o.Duplicates,
+	}
+}
+
+// attemptKey carries the retry attempt number through a context.
+type attemptKey struct{}
+
+// WithAttempt tags ctx with the query's retry attempt number (0 = first
+// try). The injector folds it into every fault hash, so each retry of
+// the same transaction draws an independent fault decision.
+func WithAttempt(ctx context.Context, attempt int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, attempt)
+}
+
+// AttemptFrom reports the retry attempt carried by ctx (0 when untagged).
+func AttemptFrom(ctx context.Context) int {
+	a, _ := ctx.Value(attemptKey{}).(int)
+	return a
+}
+
+// Injector decorates an Exchanger with the configured fault model.
+type Injector struct {
+	cfg      Config
+	target   string
+	epoch    time.Time
+	clock    clockx.Clock
+	counters *Counters
+	next     dnsnet.Exchanger
+}
+
+// New wraps next in a fault injector. target labels this transport path
+// (a vantage name, "auth") for per-target outages and hash keying; epoch
+// anchors outage windows (the campaign start); clock resolves "now" for
+// unscheduled queries and sleeps real-clock jitter. counters may be
+// shared across injectors and may be nil.
+func New(cfg Config, target string, epoch time.Time, clock clockx.Clock, counters *Counters, next dnsnet.Exchanger) *Injector {
+	if clock == nil {
+		clock = clockx.Real{}
+	}
+	if counters == nil {
+		counters = &Counters{}
+	}
+	return &Injector{cfg: cfg, target: target, epoch: epoch, clock: clock, counters: counters, next: next}
+}
+
+// Counters returns the injector's (possibly shared) counters.
+func (in *Injector) Counters() *Counters { return in.counters }
+
+// decide reports whether the fault keyed by kind fires for this query at
+// probability p. Pure hash — no state, no ordering sensitivity.
+func (in *Injector) decide(kind, key string, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return in.cfg.Seed.HashUnit("faults/"+kind+"/"+key) < p
+}
+
+// Exchange implements dnsnet.Exchanger.
+func (in *Injector) Exchange(ctx context.Context, server string, query *dnswire.Message) (*dnswire.Message, error) {
+	// Variable fields (attempt, txid) lead the key: FNV-1a mixes early
+	// bytes through every later round, so the trailing constant fields
+	// give the short numeric differences full avalanche into HashUnit's
+	// high bits — trailing them instead would leave the k-th retry's
+	// decision nearly identical to the first try's.
+	key := fmt.Sprintf("%d/%d/%s/%s", AttemptFrom(ctx), query.ID, server, in.target)
+
+	if in.cfg.Jitter > 0 {
+		j := time.Duration(in.cfg.Seed.HashUnit("faults/jitter/"+key) * float64(in.cfg.Jitter))
+		if t, ok := clockx.TimeFrom(ctx); ok {
+			// Scheduled query: the delay shifts when the server sees it.
+			ctx = clockx.WithTime(ctx, t.Add(j))
+		} else if _, sim := in.clock.(*clockx.Sim); !sim {
+			in.clock.Sleep(j)
+		}
+	}
+
+	if len(in.cfg.Outages) > 0 {
+		since := clockx.NowIn(ctx, in.clock).Sub(in.epoch)
+		for _, o := range in.cfg.Outages {
+			if o.covers(in.target, since) {
+				in.counters.outageDrops.Add(1)
+				return nil, dnsnet.ErrTimeout
+			}
+		}
+	}
+
+	if in.decide("loss", key, in.cfg.Loss) {
+		in.counters.drops.Add(1)
+		return nil, dnsnet.ErrTimeout
+	}
+
+	resp, err := in.next.Exchange(ctx, server, query)
+	if err != nil {
+		return resp, err
+	}
+	if in.decide("dup", key, in.cfg.Dup) {
+		// The exchange layer absorbs duplicates (stale datagrams are
+		// discarded by ID matching); only the counter observes them.
+		in.counters.duplicates.Add(1)
+	}
+	if in.decide("trunc", key, in.cfg.Trunc) {
+		in.counters.truncations.Add(1)
+		tr := *resp
+		tr.Truncated = true
+		tr.Answers = nil
+		return &tr, nil
+	}
+	return resp, nil
+}

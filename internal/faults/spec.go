@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Config from a -faults flag spec such as
+//
+//	loss=0.02,dup=0.01,trunc=0.005,jitter=50ms,outage=fra@24h+6h
+//
+// Keys: loss/dup/trunc (rates in [0,1]), jitter (duration), and any
+// number of outage=<target>@<start>+<duration> windows (target may be
+// empty to black out every path; start and duration are offsets from the
+// campaign start). Empty and "off" mean no faults. The seed is left zero
+// — harnesses key it to the run seed.
+func Parse(spec string) (Config, error) {
+	var c Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: %q is not key=value", kv)
+		}
+		switch k {
+		case "loss", "dup", "trunc":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: %s rate %q: %v", k, v, err)
+			}
+			switch k {
+			case "loss":
+				c.Loss = f
+			case "dup":
+				c.Dup = f
+			case "trunc":
+				c.Trunc = f
+			}
+		case "jitter":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: jitter %q: %v", v, err)
+			}
+			c.Jitter = d
+		case "outage":
+			o, err := parseOutage(v)
+			if err != nil {
+				return Config{}, err
+			}
+			c.Outages = append(c.Outages, o)
+		default:
+			return Config{}, fmt.Errorf("faults: unknown key %q (want loss, dup, trunc, jitter, outage)", k)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// parseOutage parses "<target>@<start>+<duration>".
+func parseOutage(v string) (Outage, error) {
+	target, window, ok := strings.Cut(v, "@")
+	if !ok {
+		return Outage{}, fmt.Errorf("faults: outage %q: want <target>@<start>+<duration>", v)
+	}
+	startStr, durStr, ok := strings.Cut(window, "+")
+	if !ok {
+		return Outage{}, fmt.Errorf("faults: outage %q: want <target>@<start>+<duration>", v)
+	}
+	start, err := time.ParseDuration(startStr)
+	if err != nil {
+		return Outage{}, fmt.Errorf("faults: outage start %q: %v", startStr, err)
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil {
+		return Outage{}, fmt.Errorf("faults: outage duration %q: %v", durStr, err)
+	}
+	return Outage{Target: target, Start: start, Duration: dur}, nil
+}

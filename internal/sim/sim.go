@@ -16,6 +16,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/dnsnet"
 	"clientmap/internal/domains"
+	"clientmap/internal/faults"
 	"clientmap/internal/geo"
 	"clientmap/internal/gpdns"
 	"clientmap/internal/netx"
@@ -60,7 +61,10 @@ type System struct {
 	Net    *dnsnet.MemNet
 	RV     *routeviews.Table
 
-	vantages []cacheprobe.Vantage
+	vantages      []cacheprobe.Vantage
+	faultCfg      *faults.Config
+	faultEpoch    time.Time
+	faultCounters *faults.Counters
 }
 
 // New builds a System.
@@ -130,6 +134,24 @@ func (s *System) wireVantages() {
 // Vantages returns the wired cloud vantage points.
 func (s *System) Vantages() []cacheprobe.Vantage { return s.vantages }
 
+// InjectFaults wraps every measurement transport — each vantage's
+// exchanger and the prober's authoritative path — in a deterministic
+// fault injector. Each vantage is its own injector target (named by the
+// vantage), so outage windows can black out the path to one PoP; the
+// authoritative path is the target "auth". epoch anchors outage windows
+// (the campaign start). Returns the shared counters (also wired into
+// ProberConfig). Call once, before building probers.
+func (s *System) InjectFaults(cfg faults.Config, epoch time.Time) *faults.Counters {
+	s.faultCounters = &faults.Counters{}
+	s.faultCfg = &cfg
+	s.faultEpoch = epoch
+	for i := range s.vantages {
+		v := &s.vantages[i]
+		v.Exchanger = faults.New(cfg, v.Name, epoch, s.Clock, s.faultCounters, v.Exchanger)
+	}
+	return s.faultCounters
+}
+
 // PoPCoords returns the coordinates of every cataloged PoP by name — the
 // public knowledge the prober uses for scope assignment.
 func (s *System) PoPCoords() map[string]geo.Coord {
@@ -160,6 +182,7 @@ func (s *System) ProberConfig() cacheprobe.Config {
 		GeoDB:              s.World.GeoDB(),
 		Universe:           s.World.PublicSpan(),
 		CalibrationSamples: samples,
+		FaultCounters:      s.faultCounters,
 	}
 }
 
@@ -168,6 +191,9 @@ func (s *System) Prober(cfg cacheprobe.Config) *cacheprobe.Prober {
 	auth := cacheprobe.Authoritative{
 		Exchanger: s.Net.Client(netx.AddrFrom4(100, 64, 255, 1)),
 		Server:    AuthServer,
+	}
+	if s.faultCfg != nil {
+		auth.Exchanger = faults.New(*s.faultCfg, "auth", s.faultEpoch, s.Clock, s.faultCounters, auth.Exchanger)
 	}
 	return cacheprobe.NewProber(cfg, s.vantages, auth)
 }

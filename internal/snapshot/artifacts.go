@@ -28,8 +28,10 @@ const (
 )
 
 const (
-	VersionCampaign      uint16 = 1
-	VersionDNSLogs       uint16 = 1
+	// VersionCampaign 2: added the FaultStats reliability ledger.
+	VersionCampaign uint16 = 2
+	// VersionDNSLogs 2: added the OpenRetries counter.
+	VersionDNSLogs       uint16 = 2
 	VersionCDN           uint16 = 1
 	VersionAPNIC         uint16 = 1
 	VersionASDB          uint16 = 1
@@ -196,6 +198,14 @@ func EncodeCampaign(w *Writer, c *cacheprobe.Campaign) {
 		w.String(pop)
 		w.Int(c.PoPHits[pop])
 	}
+
+	w.Varint(c.Faults.InjectedDrops)
+	w.Varint(c.Faults.OutageDrops)
+	w.Varint(c.Faults.Truncations)
+	w.Varint(c.Faults.Duplicates)
+	w.Varint(c.Faults.RetriesSpent)
+	w.Varint(c.Faults.RetriesRecovered)
+	w.Varint(c.Faults.BudgetExhausted)
 }
 
 // DecodeCampaign reads a campaign written by EncodeCampaign. The decoded
@@ -285,6 +295,14 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 		pop := r.String()
 		c.PoPHits[pop] = r.Int()
 	}
+
+	c.Faults.InjectedDrops = r.Varint()
+	c.Faults.OutageDrops = r.Varint()
+	c.Faults.Truncations = r.Varint()
+	c.Faults.Duplicates = r.Varint()
+	c.Faults.RetriesSpent = r.Varint()
+	c.Faults.RetriesRecovered = r.Varint()
+	c.Faults.BudgetExhausted = r.Varint()
 	return c, r.Err()
 }
 
@@ -304,6 +322,7 @@ func EncodeDNSLogs(w *Writer, res *dnslogs.Result) {
 	for _, l := range res.LettersRead {
 		w.String(l)
 	}
+	w.Int(res.OpenRetries)
 }
 
 // DecodeDNSLogs reads a result written by EncodeDNSLogs.
@@ -322,6 +341,7 @@ func DecodeDNSLogs(r *Reader) (*dnslogs.Result, error) {
 			res.LettersRead[i] = r.String()
 		}
 	}
+	res.OpenRetries = r.Int()
 	return res, r.Err()
 }
 

@@ -78,6 +78,10 @@ func TestCampaignRoundTrip(t *testing.T) {
 	c.ScopeDiffs["example.com"] = map[int]int{0: 12, 8: 3}
 	c.PoPHits["fra"] = 1
 	c.PoPHits["iad"] = 1
+	c.Faults = cacheprobe.FaultStats{
+		InjectedDrops: 321, OutageDrops: 45, Truncations: 6, Duplicates: 7,
+		RetriesSpent: 280, RetriesRecovered: 270, BudgetExhausted: 11,
+	}
 
 	roundTrip(t, KindCampaign, VersionCampaign,
 		func(w *Writer) { EncodeCampaign(w, c) },
@@ -97,6 +101,7 @@ func TestDNSLogsRoundTrip(t *testing.T) {
 		ResolverCounts: map[netx.Addr]float64{0x08080808: 12.5, 0x01010101: 3},
 		TotalQueries:   1e6, PatternMatches: 4242.5, FilteredNames: 17,
 		LettersRead: []string{"J", "H", "M"},
+		OpenRetries: 3,
 	}
 	roundTrip(t, KindDNSLogs, VersionDNSLogs,
 		func(w *Writer) { EncodeDNSLogs(w, res) },

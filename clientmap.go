@@ -34,6 +34,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/experiments"
 	"clientmap/internal/faults"
+	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
 	"clientmap/internal/world"
@@ -97,6 +98,11 @@ type Config struct {
 	// Log receives stage progress lines (which stages ran, which were
 	// restored); nil discards them.
 	Log func(format string, args ...any)
+	// DebugAddr, when non-empty (e.g. "localhost:6060"), serves live
+	// observability endpoints for the duration of the run: /metrics (the
+	// live instrumentation ledger as JSON), /debug/vars (expvar) and
+	// /debug/pprof/ (profiling). The listener closes when Run returns.
+	DebugAddr string
 }
 
 // Evaluation is a completed run: both techniques plus all baseline
@@ -131,6 +137,17 @@ func Run(cfg Config) (*Evaluation, error) {
 	if ecfg.Retry, err = cacheprobe.ParseRetry(cfg.Retries); err != nil {
 		return nil, fmt.Errorf("clientmap: %w", err)
 	}
+	ecfg.Metrics = metrics.NewRegistry()
+	if cfg.DebugAddr != "" {
+		srv, err := metrics.ServeDebug(cfg.DebugAddr, ecfg.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("clientmap: debug server: %w", err)
+		}
+		defer srv.Close()
+		if cfg.Log != nil {
+			cfg.Log("debug server listening on %s", srv.Addr())
+		}
+	}
 	res, err := experiments.Run(ecfg)
 	if err != nil {
 		return nil, err
@@ -140,6 +157,17 @@ func Run(cfg Config) (*Evaluation, error) {
 
 // Text renders the complete evaluation (every table and figure) as text.
 func (e *Evaluation) Text() string { return e.res.RenderAll() }
+
+// Metrics returns the run's deterministic instrumentation ledger: probe,
+// transport and cache-model counters plus latency histogram buckets,
+// keyed "subsystem/…". Values come from checkpointed artifacts, so they
+// are identical for any worker count and across kill/resume.
+func (e *Evaluation) Metrics() map[string]int64 { return e.res.MetricsLedger() }
+
+// MetricsJSON renders the ledger canonically (sorted keys, indented,
+// trailing newline) — the -metrics-json payload, byte-identical for
+// equal configurations.
+func (e *Evaluation) MetricsJSON() []byte { return e.res.MetricsJSON() }
 
 // Stat is one paper-vs-measured headline comparison.
 type Stat struct {

@@ -50,6 +50,8 @@ func main() {
 		report    = flag.Bool("report", false, "print the full evaluation report")
 		coverage  = flag.Bool("coverage", false, "print per-country user coverage")
 		headline  = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
+		metricsTo = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
+		debugAddr = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. "localhost:6060") for the run's duration`)
 	)
 	flag.Parse()
 
@@ -60,8 +62,8 @@ func main() {
 		log.Fatal(err)
 	}
 	ccfg := clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers, StateDir: *stateDir, Resume: *resume,
-		Faults: *faultSpec, Retries: *retrySpec}
-	if *stateDir != "" {
+		Faults: *faultSpec, Retries: *retrySpec, DebugAddr: *debugAddr}
+	if *stateDir != "" || *debugAddr != "" {
 		ccfg.Log = log.Printf
 	}
 	eval, err := clientmap.Run(ccfg)
@@ -70,6 +72,15 @@ func main() {
 	}
 
 	did := false
+	if *metricsTo != "" {
+		b := eval.MetricsJSON()
+		if *metricsTo == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*metricsTo, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		did = true
+	}
 	if *report {
 		fmt.Println(eval.Text())
 		did = true

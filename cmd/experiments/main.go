@@ -19,6 +19,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/experiments"
 	"clientmap/internal/faults"
+	"clientmap/internal/metrics"
 	"clientmap/internal/randx"
 	"clientmap/internal/report"
 	"clientmap/internal/world"
@@ -56,6 +57,8 @@ func main() {
 		faultSpec = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
 		retrySpec = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
 		relJSON   = flag.String("reliability-json", "", "write the fault/retry ledger as JSON to this file")
+		metricsTo = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
+		debugAddr = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address for the run's duration`)
 	)
 	flag.Parse()
 
@@ -84,6 +87,15 @@ func main() {
 	var err error
 	if cfg.Faults, cfg.Retry, err = parseReliability(*faultSpec, *retrySpec); err != nil {
 		log.Fatal(err)
+	}
+	cfg.Metrics = metrics.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := metrics.ServeDebug(*debugAddr, cfg.Metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("debug server listening on %s", srv.Addr())
 	}
 
 	start := time.Now()
@@ -119,6 +131,16 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *relJSON)
+	}
+	if *metricsTo != "" {
+		b := res.MetricsJSON()
+		if *metricsTo == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*metricsTo, b, 0o644); err != nil {
+			log.Fatal(err)
+		} else {
+			log.Printf("wrote %s", *metricsTo)
+		}
 	}
 }
 
@@ -195,6 +217,17 @@ these understood residuals:
 Every mechanism behind these gaps is a tunable in ` + "`world.Params`" + ` and
 ` + "`traffic.Tunables`" + `; DESIGN.md §5 lists the corresponding ablations.
 
+## Regression corpus
+
+The headline statistics are pinned by a golden corpus
+(` + "`internal/experiments/testdata/golden_headline.json`" + `, asserted by
+` + "`TestGoldenHeadline`" + ` at ±0.1 pp): a change that moves any of the
+numbers above fails CI until ` + "`make golden-update`" + ` regenerates the
+corpus and the diff is reviewed. The campaign's instrumentation ledger
+(` + "`-metrics-json`" + `) is byte-deterministic across worker counts and
+kill/resume, so measured values here are exactly reproducible, not
+merely statistically stable.
+
 ## Measured tables
 
 `)
@@ -207,6 +240,7 @@ Every mechanism behind these gaps is a tunable in ` + "`world.Params`" + ` and
 		experiments.RenderTable5Overlap(res.Table5()),
 		res.RenderFigure2(),
 		res.RenderReliability(),
+		res.RenderMetrics(),
 	} {
 		sb.WriteString(t.Markdown())
 		sb.WriteString("\n")

@@ -1,0 +1,68 @@
+// Package examples_test smoke-tests every example binary: each must
+// build, run a full (tiny-scale) evaluation to completion, exit zero,
+// and print the sections its documentation promises. The examples are
+// the library's de-facto API tutorial, so a signature or behaviour
+// change that breaks them must fail CI, not a reader.
+package examples_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("each example runs a full tiny-scale evaluation")
+	}
+	cases := []struct {
+		name string
+		// want are output sections that must all appear on stdout.
+		want []string
+	}{
+		{"quickstart", []string{
+			"cache probing flagged",
+			"ASes host detectable client activity",
+			"paper vs measured:",
+		}},
+		{"geotrust", []string{
+			"verdict",
+			"entries trusted",
+			"flagged for manual review",
+		}},
+		{"outage", []string{
+			"outage triage (respond top-down):",
+			"priority",
+		}},
+		{"peering", []string{
+			"cloud peers directly with",
+			"among networks hosting end users:",
+		}},
+		{"ranking", []string{
+			"most active client prefixes",
+			"human-score",
+		}},
+	}
+
+	bindir := t.TempDir()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			bin := filepath.Join(bindir, tc.name)
+			build := exec.Command("go", "build", "-o", bin, "./"+tc.name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q\n--- output ---\n%s", want, out)
+				}
+			}
+		})
+	}
+}

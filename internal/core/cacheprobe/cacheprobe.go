@@ -27,6 +27,7 @@ import (
 	"clientmap/internal/domains"
 	"clientmap/internal/faults"
 	"clientmap/internal/geo"
+	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
 )
@@ -111,6 +112,16 @@ type Config struct {
 	// injected faults into Campaign.Faults. Nil means the substrate is
 	// fault-free (live probing, or simulation without -faults).
 	FaultCounters *faults.Counters
+
+	// Metrics, when set, receives the campaign's instrumentation under
+	// "cacheprobe/…": per-stage probe counts, cache hit/miss outcomes,
+	// retry spend, and per-PoP retry-latency histograms. Each stage folds
+	// its snapshot delta over LedgerPrefixes into Campaign.Metrics — the
+	// same checkpoint-surviving pattern as FaultCounters. Nil discards.
+	Metrics *metrics.Registry
+	// Trace, when set, receives structured per-stage/per-PoP spans with
+	// sim-clock timestamps. Nil discards.
+	Trace *metrics.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +212,12 @@ type Campaign struct {
 	// recovered. Part of the checkpointed artifact, so resumed runs
 	// report the same counts as uninterrupted ones.
 	Faults FaultStats
+	// Metrics is the campaign's instrumentation ledger: the per-stage
+	// snapshot deltas of the metrics registry (Config.Metrics), folded in
+	// the same way as Faults. Every value is an order-independent sum, so
+	// the ledger is bit-identical across worker counts and kill/resume.
+	// Empty when no registry is wired.
+	Metrics metrics.Ledger
 }
 
 // FaultStats counts injected transport faults and retry outcomes over a
@@ -249,6 +266,7 @@ func NewCampaign() *Campaign {
 		Hits:           make(map[string]map[netx.Prefix]*Hit),
 		ScopeDiffs:     make(map[string]map[int]int),
 		PoPHits:        make(map[string]int),
+		Metrics:        metrics.Ledger{},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"clientmap/internal/clockx"
 	"clientmap/internal/dnswire"
 	"clientmap/internal/geo"
+	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/par"
 )
@@ -33,12 +34,16 @@ type Prober struct {
 	cfg      Config
 	vantages []Vantage
 	auth     Authoritative
+	// m holds the resolved metric handles (all discarding when
+	// Config.Metrics is nil), so hot loops never touch the registry.
+	m proberMetrics
 }
 
 // NewProber builds a prober from vantage points and the authoritative
 // access used by the pre-scan.
 func NewProber(cfg Config, vantages []Vantage, auth Authoritative) *Prober {
-	return &Prober{cfg: cfg.withDefaults(), vantages: vantages, auth: auth}
+	cfg = cfg.withDefaults()
+	return &Prober{cfg: cfg, vantages: vantages, auth: auth, m: newProberMetrics(cfg.Metrics)}
 }
 
 // workers is the intra-PoP pool size (Config.Workers, 0 = GOMAXPROCS).
@@ -137,6 +142,10 @@ func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) 
 	if len(out) == 0 {
 		return nil, fmt.Errorf("cacheprobe: no vantage reached any PoP")
 	}
+	p.cfg.Trace.Emit(metrics.Span{
+		Time: p.cfg.Clock.Now(), Stage: "pop-discovery", Event: "discovered",
+		Fields: map[string]int64{"vantages": int64(len(p.vantages)), "pops": int64(len(out))},
+	})
 	return out, nil
 }
 
@@ -164,6 +173,9 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 
 	fin := p.stageFaults(camp)
 	defer fin()
+	finM := p.stageMetrics(camp)
+	defer finM()
+	prescanDelay := p.m.reg.Histogram("cacheprobe/prescan/retry_delay_ms", retryDelayBounds)
 	results := make([][]netx.Prefix, len(spans))
 	accounts := make([]retryAccount, len(spans))
 	var queries atomic.Int64
@@ -175,6 +187,7 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 		// this path talks to the authoritative resolvers).
 		acct := &accounts[i]
 		acct.remaining = -1
+		acct.delays = prescanDelay
 		var scopes []netx.Prefix
 		sent := 0
 		cur := uint32(sp.block.FirstSlash24())
@@ -203,6 +216,7 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 	})
 	for i := range accounts {
 		camp.Faults.addRetries(&accounts[i])
+		p.m.countRetries(&accounts[i])
 	}
 
 	// Merge the spans back per domain, in span order, then sort.
@@ -225,6 +239,16 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 		camp.ScopesByDomain[d.Name] = scopes
 	}
 	camp.PreScanQueries += int(queries.Load())
+	p.m.prescanQueries.Add(queries.Load())
+	scopeCount := int64(0)
+	for _, scopes := range camp.ScopesByDomain {
+		scopeCount += int64(len(scopes))
+	}
+	p.m.prescanScopes.Add(scopeCount)
+	p.cfg.Trace.Emit(metrics.Span{
+		Time: p.cfg.Clock.Now(), Stage: "scope-prescan", Event: "scanned",
+		Fields: map[string]int64{"queries": queries.Load(), "scopes": scopeCount},
+	})
 	return nil
 }
 
@@ -260,9 +284,12 @@ func (p *Prober) calibrationSample() []netx.Slash24 {
 func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *Campaign) {
 	sample := p.calibrationSample()
 	popNames := sortedPoPs(pops)
-	sctx := p.scheduleCtx(ctx, p.cfg.Clock.Now())
+	now := p.cfg.Clock.Now()
+	sctx := p.scheduleCtx(ctx, now)
 	fin := p.stageFaults(camp)
 	defer fin()
+	finM := p.stageMetrics(camp)
+	defer finM()
 
 	type calResult struct {
 		hit    bool
@@ -272,11 +299,13 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 	}
 	cals := make([]*PoPCalibration, len(popNames))
 	retries := make([]retryAccount, len(popNames))
+	popProbes := make([]int64, len(popNames))
 	var probes atomic.Int64
 	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
 		pop := popNames[pi]
 		v := pops[pop]
 		cal := &PoPCalibration{PoP: pop, Vantage: v.Name}
+		delays := p.m.popDelay(pop)
 		res := make([]calResult, len(sample))
 		par.ForEach(len(sample), p.workers(), func(si int) {
 			s := sample[si]
@@ -286,6 +315,7 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 			}
 			var r calResult
 			r.retry.remaining = p.retryAllowance("calib/"+pop, si, len(sample))
+			r.retry.delays = delays
 			hit := false
 			for _, d := range p.cfg.Domains {
 				if d.Microsoft {
@@ -308,6 +338,7 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 		})
 		for _, r := range res {
 			probes.Add(int64(r.probes + r.retry.spent))
+			popProbes[pi] += int64(r.probes + r.retry.spent)
 			retries[pi].add(&r.retry)
 			if r.hit {
 				cal.HitDistancesKm = append(cal.HitDistancesKm, r.dist)
@@ -332,8 +363,22 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 		cals[pi] = cal
 	})
 	for pi, pop := range popNames {
-		camp.PoPs[pop] = cals[pi]
+		cal := cals[pi]
+		camp.PoPs[pop] = cal
 		camp.Faults.addRetries(&retries[pi])
+		p.m.countRetries(&retries[pi])
+		hits := int64(len(cal.HitDistancesKm))
+		p.m.calProbes.Add(popProbes[pi])
+		p.m.calHits.Add(hits)
+		p.m.popProbes(pop).Add(popProbes[pi])
+		p.m.popHits(pop).Add(hits)
+		p.cfg.Trace.Emit(metrics.Span{
+			Time: now, Stage: "calibration", PoP: pop, Event: "calibrated",
+			Fields: map[string]int64{
+				"samples": int64(len(sample)), "probes": popProbes[pi],
+				"hits": hits, "radius_km": int64(cal.RadiusKm),
+			},
+		})
 	}
 	camp.ProbesSent += int(probes.Load())
 }
@@ -443,11 +488,15 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 	camp.PassTimes = append(camp.PassTimes, passStart)
 	fin := p.stageFaults(camp)
 	defer fin()
+	finM := p.stageMetrics(camp)
+	defer finM()
+	passProbes, passHits := p.m.passProbes(pass), p.m.passHits(pass)
 	results := make([][]probeResult, len(popNames))
 	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
 		pop := popNames[pi]
 		v := pops[pop]
 		tasks := asg.tasks[pi]
+		delays := p.m.popDelay(pop)
 		res := make([]probeResult, len(tasks))
 		par.ForEach(len(tasks), p.workers(), func(ti int) {
 			tk := tasks[ti]
@@ -457,6 +506,7 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 			tctx := p.scheduleCtx(ctx, passStart.Add(offset))
 			var r probeResult
 			r.retry.remaining = p.retryAllowance(fmt.Sprintf("probe/%d/%s", pass, pop), ti, len(tasks))
+			r.retry.delays = delays
 			for a := 0; a < p.cfg.Redundancy; a++ {
 				key := fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope)
 				hit, respScope := p.snoop(tctx, v, p.txid(key, a), tk.domain, tk.scope,
@@ -477,14 +527,34 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 	// in, so first-hitting-PoP attribution and hit-time order match.
 	for pi, pop := range popNames {
 		tasks := asg.tasks[pi]
+		var popProbes, popHits, popSpent int64
 		for ti := range results[pi] {
 			r := &results[pi][ti]
-			camp.ProbesSent += r.probes + r.retry.spent
+			sent := int64(r.probes + r.retry.spent)
+			camp.ProbesSent += int(sent)
+			popProbes += sent
+			popSpent += int64(r.retry.spent)
 			camp.Faults.addRetries(&r.retry)
+			p.m.countRetries(&r.retry)
 			if r.hit {
+				popHits++
 				p.recordHit(camp, pass, pop, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
 			}
 		}
+		p.m.probeProbes.Add(popProbes)
+		p.m.probeHits.Add(popHits)
+		p.m.probeMisses.Add(int64(len(tasks)) - popHits)
+		passProbes.Add(popProbes)
+		passHits.Add(popHits)
+		p.m.popProbes(pop).Add(popProbes)
+		p.m.popHits(pop).Add(popHits)
+		p.cfg.Trace.Emit(metrics.Span{
+			Time: passStart, Stage: fmt.Sprintf("probe-pass-%d", pass), Pass: pass, PoP: pop, Event: "probed",
+			Fields: map[string]int64{
+				"tasks": int64(len(tasks)), "probes": popProbes,
+				"hits": popHits, "retries_spent": popSpent,
+			},
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"clientmap/internal/dnsnet"
 	"clientmap/internal/dnswire"
 	"clientmap/internal/faults"
+	"clientmap/internal/metrics"
 )
 
 // Retry is the per-query retry policy. The zero value means a single try
@@ -137,6 +138,12 @@ type retryAccount struct {
 	// exhausted counts queries that were still failing when the budget
 	// clamp (not the policy's attempt bound) cut them off.
 	exhausted int
+	// delays, when set, observes each logical query's accumulated
+	// backoff-plus-jitter latency (the per-PoP retry-latency histogram).
+	// Only delayed queries are observed — a first-try success records
+	// nothing — and every delay is a pure hash of the query key, so the
+	// histogram is deterministic for any worker schedule.
+	delays *metrics.Histogram
 }
 
 // add folds another account's spend into this one (merge-time totals).
@@ -228,6 +235,9 @@ func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server strin
 	}
 	if acct != nil {
 		acct.spent += try
+		if delay > 0 {
+			acct.delays.Observe(delay.Milliseconds())
+		}
 		if acct.remaining > 0 {
 			if acct.remaining -= try; acct.remaining < 0 {
 				acct.remaining = 0

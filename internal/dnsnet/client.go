@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"clientmap/internal/dnswire"
+	"clientmap/internal/metrics"
 )
 
 // UDPClient exchanges DNS messages over UDP with a per-query socket, the
@@ -72,6 +73,9 @@ func (c *UDPClient) Exchange(ctx context.Context, server string, query *dnswire.
 type TCPClient struct {
 	// Timeout bounds dialing and each exchange; zero means 5 seconds.
 	Timeout time.Duration
+	// Reconnects, when set, counts exchanges that dropped the pooled
+	// connection and redialed (nil discards).
+	Reconnects *metrics.Counter
 
 	mu    sync.Mutex
 	conns map[string]net.Conn
@@ -117,6 +121,7 @@ func (c *TCPClient) Exchange(ctx context.Context, server string, query *dnswire.
 	resp, err := c.exchangeOnce(ctx, server, query)
 	if err != nil && ctx.Err() == nil {
 		c.drop(server)
+		c.Reconnects.Inc()
 		resp, err = c.exchangeOnce(ctx, server, query)
 	}
 	return resp, err

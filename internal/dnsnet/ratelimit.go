@@ -52,6 +52,15 @@ func (b *TokenBucket) refillLocked(now time.Time) {
 	b.last = now
 }
 
+// Tokens reports the current token count, refilled to the bucket's clock
+// — the occupancy reading the rate-limit metrics observe.
+func (b *TokenBucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clock.Now())
+	return b.tokens
+}
+
 // Allow consumes one token if available and reports whether it succeeded.
 func (b *TokenBucket) Allow() bool {
 	b.mu.Lock()

@@ -21,6 +21,7 @@ import (
 	"clientmap/internal/core/datasets"
 	"clientmap/internal/core/dnslogs"
 	"clientmap/internal/faults"
+	"clientmap/internal/metrics"
 	"clientmap/internal/randx"
 	"clientmap/internal/routeviews"
 	"clientmap/internal/sim"
@@ -80,8 +81,27 @@ type Config struct {
 	// kill. Run returns pipeline.ErrStopped.
 	StopAfter string
 	// Log receives stage progress lines ("stage probe-pass-3: restored
-	// checkpoint … — skipped"); nil discards them.
+	// checkpoint … — skipped"); nil discards them. All logging funnels
+	// through Config.logf, so a nil Log is safe everywhere.
 	Log func(format string, args ...any)
+
+	// Metrics is the run's instrumentation registry. Every layer of the
+	// assembled system counts into it — the prober under "cacheprobe/…",
+	// the transports under "dnsnet/…", the Google front end under
+	// "gpdns/…" — and the campaign stages fold their snapshot deltas into
+	// the checkpointed Campaign.Metrics ledger. Nil means Run creates a
+	// private registry, so the ledger is always populated; pass one
+	// explicitly to expose live values (e.g. on a -debug-addr endpoint).
+	Metrics *metrics.Registry
+}
+
+// logf forwards to Config.Log when set and discards otherwise — the one
+// nil-check for the whole package (and, via pipeline.Options.Log, for the
+// stage runner too).
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
 }
 
 // DefaultConfig returns a paper-faithful configuration at the given scale.
@@ -115,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.PerSourceHourCap <= 0 {
 		c.PerSourceHourCap = d.PerSourceHourCap
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
 	return c
 }
 
@@ -134,6 +157,12 @@ type Results struct {
 	PfxCacheProbe, PfxDNSLogs, PfxUnion, PfxMSClients, PfxMSResolvers *datasets.PrefixDataset
 	// AS-granularity dataset views (Tables 3-4).
 	ASCacheProbe, ASDNSLogs, ASUnion, ASAPNIC, ASMSClients, ASMSResolvers *datasets.ASDataset
+
+	// Trace is the run's structured span log: one span per pipeline stage
+	// (executed or restored, artifact size, fingerprint) plus the prober's
+	// per-stage/per-PoP spans, all stamped with sim-clock timestamps. When
+	// StateDir is set Run also writes it to StateDir/metrics/trace.jsonl.
+	Trace *metrics.Trace
 }
 
 // Run executes the full evaluation as a staged pipeline. The three
@@ -149,9 +178,17 @@ func Run(cfg Config) (*Results, error) {
 	if err := sr.runner.Run(noCtx()); err != nil {
 		return nil, err
 	}
+	if cfg.StateDir != "" {
+		path, err := writeTrace(cfg.StateDir, sr.trace)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("metrics: wrote %d trace spans to %s", sr.trace.Len(), path)
+	}
 
 	res := &Results{
 		Cfg:      cfg,
+		Trace:    sr.trace,
 		Sys:      sr.world.Out(),
 		Campaign: sr.probeFinal.Out(),
 		DNSLogs:  sr.dnsLogs.Out(),

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"clientmap/internal/randx"
+	"clientmap/internal/world"
+)
+
+// goldenPath is the checked-in golden regression corpus: the 11 headline
+// statistics of a fixed small-scale campaign. Regenerate after an
+// intentional behaviour change with `make golden-update` and review the
+// diff — every moved number is a semantic change to the reproduction.
+const goldenPath = "testdata/golden_headline.json"
+
+// goldenTolerancePct is the per-statistic slack, in percentage points.
+// The run is bit-deterministic, so the tolerance only absorbs benign
+// float formatting/summation churn; anything larger is a real drift.
+const goldenTolerancePct = 0.1
+
+func goldenConfig() Config {
+	cfg := DefaultConfig(randx.Seed(2021), world.ScaleSmall)
+	cfg.CampaignDuration = 24 * time.Hour
+	cfg.Passes = 3
+	cfg.TraceDuration = 6 * time.Hour
+	return cfg
+}
+
+// TestGoldenHeadline locks the whole evaluation down end to end: a seeded
+// ScaleSmall campaign must reproduce every headline statistic of the
+// checked-in golden file within ±0.1 percentage points (the AS count
+// exactly). Any code change that moves measurement behaviour — scope
+// handling, calibration, cache modelling, dataset joins — trips this
+// test; refactors that only reorganize code do not.
+func TestGoldenHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ScaleSmall campaign")
+	}
+	res, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.ComputeHeadline()
+
+	if os.Getenv("CLIENTMAP_UPDATE_GOLDEN") != "" {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `make golden-update`)", err)
+	}
+	var want Headline
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	typ := gv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		switch typ.Field(i).Type.Kind() {
+		case reflect.Float64:
+			g, w := gv.Field(i).Float(), wv.Field(i).Float()
+			if math.Abs(g-w) > goldenTolerancePct {
+				t.Errorf("%s = %.4f, golden %.4f (Δ %.4f > %.1fpp)", name, g, w, math.Abs(g-w), goldenTolerancePct)
+			}
+		case reflect.Int:
+			if g, w := gv.Field(i).Int(), wv.Field(i).Int(); g != w {
+				t.Errorf("%s = %d, golden %d", name, g, w)
+			}
+		default:
+			t.Fatalf("unhandled Headline field kind %s for %s", typ.Field(i).Type.Kind(), name)
+		}
+	}
+}

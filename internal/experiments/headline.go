@@ -12,36 +12,36 @@ import (
 type Headline struct {
 	// UnionASVolumePct: ASes identified by either technique account for
 	// this percent of Microsoft clients query volume. Paper: 98.8.
-	UnionASVolumePct float64
+	UnionASVolumePct float64 `json:"union_as_volume_pct"`
 	// APNICASVolumePct: the same for APNIC. Paper: 92.
-	APNICASVolumePct float64
+	APNICASVolumePct float64 `json:"apnic_as_volume_pct"`
 	// UnionPrefixVolumePct: /24s identified by the techniques account for
 	// this percent of Microsoft clients volume. Paper: 95.2.
-	UnionPrefixVolumePct float64
+	UnionPrefixVolumePct float64 `json:"union_prefix_volume_pct"`
 	// DNSLogsPrecisionPct: percent of DNS-logs prefixes also in Microsoft
 	// clients. Paper: 95.5.
-	DNSLogsPrecisionPct float64
+	DNSLogsPrecisionPct float64 `json:"dns_logs_precision_pct"`
 	// CacheProbeUpperPrecisionPct: percent of cache probing's upper-bound
 	// /24s also in Microsoft clients. Paper: 74.7.
-	CacheProbeUpperPrecisionPct float64
+	CacheProbeUpperPrecisionPct float64 `json:"cache_probe_upper_precision_pct"`
 	// ScopePrecisionPct: percent of cache-probing hit scopes containing
 	// at least one Microsoft-clients /24. Paper: 99.1.
-	ScopePrecisionPct float64
+	ScopePrecisionPct float64 `json:"scope_precision_pct"`
 	// ECSRecallPct: percent of ground-truth Traffic Manager ECS /24s that
 	// cache probing of the Microsoft domain recovered. Paper: 91.
-	ECSRecallPct float64
+	ECSRecallPct float64 `json:"ecs_recall_pct"`
 	// DNSOverHTTPPct: percent of ECS-dataset query volume from prefixes
 	// the CDN also saw over HTTP. Paper: 97.2.
-	DNSOverHTTPPct float64
+	DNSOverHTTPPct float64 `json:"dns_over_http_pct"`
 	// HTTPOverDNSPct: percent of CDN HTTP volume from prefixes seen in
 	// the ECS dataset. Paper: 92.
-	HTTPOverDNSPct float64
+	HTTPOverDNSPct float64 `json:"http_over_dns_pct"`
 	// MSClientsASCoveragePct: percent of all observed ASes present in
 	// Microsoft clients. Paper: 97.
-	MSClientsASCoveragePct float64
+	MSClientsASCoveragePct float64 `json:"ms_clients_as_coverage_pct"`
 	// NewASesVsAPNIC is how many ASes the techniques found that APNIC
 	// lacks. Paper: 29,973 (absolute counts scale with the world).
-	NewASesVsAPNIC int
+	NewASesVsAPNIC int `json:"new_ases_vs_apnic"`
 }
 
 // ComputeHeadline derives the headline statistics from the run.

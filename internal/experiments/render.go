@@ -197,6 +197,9 @@ func (r *Results) RenderAll() string {
 	sb.WriteString(r.RenderReliability().String())
 	sb.WriteByte('\n')
 
+	sb.WriteString(r.RenderMetrics().String())
+	sb.WriteByte('\n')
+
 	head := &report.Table{Title: "Headline statistics (§1/§4)", Header: []string{"Statistic", "Paper", "Measured"}}
 	for _, c := range CompareHeadline(r.ComputeHeadline()) {
 		head.AddRow(c.Name, c.Paper, c.Measured)

@@ -16,6 +16,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/core/datasets"
 	"clientmap/internal/core/dnslogs"
+	"clientmap/internal/metrics"
 	"clientmap/internal/pipeline"
 	"clientmap/internal/roots"
 	"clientmap/internal/sim"
@@ -177,6 +178,7 @@ func (v *viewsArtifact) asViews() []*datasets.ASDataset {
 // handles needed to assemble Results afterwards.
 type stagedRun struct {
 	runner     *pipeline.Runner
+	trace      *metrics.Trace
 	world      *pipeline.Stage[*sim.System]
 	probeFinal *pipeline.Stage[*cacheprobe.Campaign]
 	dnsLogs    *pipeline.Stage[*dnslogs.Result]
@@ -203,15 +205,18 @@ func deps(hs ...pipeline.Handle) []pipeline.Handle { return hs }
 // a pure throughput knob with bit-identical results, so checkpoints
 // written at one worker count resume at any other.
 func newStagedRun(cfg Config) *stagedRun {
+	campStart := clockx.Epoch
+	trace := metrics.NewTrace()
 	r := pipeline.New(pipeline.Options{
 		Dir:       cfg.StateDir,
 		Resume:    cfg.Resume,
 		StopAfter: cfg.StopAfter,
-		Log:       cfg.Log,
+		Log:       cfg.logf,
+		Trace:     trace,
+		TraceTime: campStart,
 	})
-	sr := &stagedRun{runner: r}
+	sr := &stagedRun{runner: r, trace: trace}
 
-	campStart := clockx.Epoch
 	campEnd := campStart.Add(cfg.CampaignDuration)
 	base := fmt.Sprintf("seed=%d scale=%+v", cfg.Seed, cfg.Scale)
 	// The reliability knobs change what the campaign measures, so they
@@ -223,7 +228,7 @@ func newStagedRun(cfg Config) *stagedRun {
 
 	sr.world = pipeline.AddStage(r, StageWorld, base, nil, nil,
 		func(ctx context.Context) (*sim.System, error) {
-			return sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+			return sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale, Metrics: cfg.Metrics})
 		})
 
 	setup := pipeline.AddStage(r, StageSetup, campFP, deps(sr.world), nil,
@@ -239,6 +244,8 @@ func newStagedRun(cfg Config) *stagedRun {
 			pcfg.Passes = cfg.Passes
 			pcfg.Workers = cfg.Workers
 			pcfg.Retry = cfg.Retry
+			pcfg.Metrics = cfg.Metrics
+			pcfg.Trace = trace
 			prober := sys.Prober(pcfg)
 			pops, err := prober.DiscoverPoPs(ctx)
 			if err != nil {

@@ -11,6 +11,7 @@ import (
 	"clientmap/internal/clockx"
 	"clientmap/internal/dnsnet"
 	"clientmap/internal/dnswire"
+	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
 )
@@ -34,6 +35,11 @@ type Config struct {
 	// PoolCapacity bounds each cache pool's entry count (0 = unbounded,
 	// the default for simulations; production caches evict under load).
 	PoolCapacity int
+	// Metrics, when set, mirrors the server's counters into the shared
+	// registry under "gpdns/…" — queries, cache hits, rate-limit drops,
+	// bucket creations, and a token-occupancy histogram sampled on every
+	// unscheduled (bucket-checked) arrival. Nil discards.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns production-like settings.
@@ -71,7 +77,16 @@ type Server struct {
 	poolCtr atomic.Uint64
 	// Stats counters.
 	queries, hits, limited atomic.Uint64
+
+	// Registry mirrors of the counters above, plus rate-limit occupancy.
+	mQueries, mHits, mLimited, mBuckets *metrics.Counter
+	mTokens                             *metrics.Histogram
 }
+
+// tokenBounds is the fixed bucket layout of the rate-limit occupancy
+// histogram (token counts are small: UDP buckets burst at 8, TCP at a
+// few thousand).
+var tokenBounds = []int64{0, 1, 2, 4, 8, 16, 64, 256, 1024, 4096}
 
 // NewServer builds the simulator over the router's PoP catalog.
 func NewServer(cfg Config, router *anycast.Router) *Server {
@@ -87,6 +102,11 @@ func NewServer(cfg Config, router *anycast.Router) *Server {
 		vantages: make(map[netx.Addr]int),
 		udpLims:  make(map[string]*dnsnet.TokenBucket),
 		tcpLims:  make(map[netx.Addr]*dnsnet.TokenBucket),
+		mQueries: cfg.Metrics.Counter("gpdns/queries"),
+		mHits:    cfg.Metrics.Counter("gpdns/cache_hits"),
+		mLimited: cfg.Metrics.Counter("gpdns/ratelimit/limited"),
+		mBuckets: cfg.Metrics.Counter("gpdns/ratelimit/buckets_created"),
+		mTokens:  cfg.Metrics.Histogram("gpdns/ratelimit/tokens", tokenBounds),
 	}
 	for range router.PoPs() {
 		s.sites = append(s.sites, newSite(cfg.PoolsPerPoP, cfg.PoolCapacity))
@@ -138,6 +158,7 @@ func (s *Server) route(from netx.Addr) int {
 // ServeDNS implements dnsnet.Handler without transport rate limits.
 func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Message) *dnswire.Message {
 	s.queries.Add(1)
+	s.mQueries.Inc()
 	popIdx := s.route(from)
 	if popIdx < 0 || popIdx >= len(s.sites) {
 		return nil // no anycast route from this source
@@ -189,12 +210,14 @@ func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Messag
 
 	if e, ok := p.lookup(qq.Name, src, now); ok {
 		s.hits.Add(1)
+		s.mHits.Inc()
 		return answerFor(q, e, now)
 	}
 	// Lazy background fill: would client-driven traffic have this cached?
 	if s.lazy != nil {
 		if e, ok := s.lazy.Lookup(popIdx, poolIdx, qq.Name, src, now); ok {
 			s.hits.Add(1)
+			s.mHits.Inc()
 			return answerFor(q, e, now)
 		}
 	}
@@ -263,10 +286,13 @@ func (s *Server) UDP() dnsnet.Handler {
 		if !ok {
 			lim = dnsnet.NewTokenBucket(s.cfg.Clock, s.cfg.UDPPerDomainRate, s.cfg.UDPPerDomainBurst)
 			s.udpLims[key] = lim
+			s.mBuckets.Inc()
 		}
 		s.mu.Unlock()
+		s.mTokens.Observe(int64(lim.Tokens()))
 		if !lim.Allow() {
 			s.limited.Add(1)
+			s.mLimited.Inc()
 			return nil
 		}
 		return s.ServeDNS(ctx, from, q)
@@ -285,10 +311,13 @@ func (s *Server) TCP() dnsnet.Handler {
 		if !ok {
 			lim = dnsnet.NewTokenBucket(s.cfg.Clock, s.cfg.TCPRate, s.cfg.TCPBurst)
 			s.tcpLims[from] = lim
+			s.mBuckets.Inc()
 		}
 		s.mu.Unlock()
+		s.mTokens.Observe(int64(lim.Tokens()))
 		if !lim.Allow() {
 			s.limited.Add(1)
+			s.mLimited.Inc()
 			return nil
 		}
 		return s.ServeDNS(ctx, from, q)

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is a live HTTP endpoint for a running campaign, exposing
+//
+//	/metrics      — the registry snapshot as the canonical ledger JSON
+//	/debug/vars   — expvar (cmdline, memstats)
+//	/debug/pprof/ — the full pprof suite (profile, heap, trace, …)
+//
+// It exists for operators watching a long campaign; nothing it serves
+// feeds back into results, so it has no determinism obligations.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug listens on addr (e.g. "localhost:6060", or ":0" for an
+// ephemeral port) and serves the debug endpoints in a background
+// goroutine. A nil registry serves an empty ledger.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(reg.Snapshot().JSON())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

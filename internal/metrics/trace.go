@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one structured trace event, keyed by stage/pass/PoP. Times are
+// sim-clock anchors (a stage's scheduled position on the campaign
+// timeline), never wall-clock readings, so a trace sorted by its keys is
+// reproducible across worker counts. Values that legitimately differ
+// between processes — wall-clock durations, restored-vs-executed, artifact
+// byte counts — belong here rather than in the exported metrics ledger,
+// which must survive resume bit-identically.
+type Span struct {
+	Time  time.Time `json:"ts"`
+	Stage string    `json:"stage"`
+	Pass  int       `json:"pass"`
+	PoP   string    `json:"pop,omitempty"`
+	Event string    `json:"event"`
+	// Fields carries numeric measurements, Attrs short strings (e.g. the
+	// stage fingerprint). JSON object keys marshal sorted.
+	Fields map[string]int64  `json:"fields,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace collects spans from concurrently running stages. Emission order
+// is schedule-dependent; readers always see the spans sorted by
+// (Time, Stage, Pass, PoP, Event), which is a total order as long as
+// emitters keep that key unique — every call site does. A nil *Trace
+// discards, so emitting is unconditional.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Emit records a span (no-op on a nil receiver).
+func (t *Trace) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a sorted copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		if a.PoP != b.PoP {
+			return a.PoP < b.PoP
+		}
+		return a.Event < b.Event
+	})
+	return out
+}
+
+// WriteJSONL writes the sorted spans as JSON Lines.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

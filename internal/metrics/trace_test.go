@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []Span {
+	epoch := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var spans []Span
+	for pass := 0; pass < 3; pass++ {
+		for _, pop := range []string{"fra", "iad", "syd"} {
+			spans = append(spans, Span{
+				Time:   epoch.Add(time.Duration(pass) * time.Hour),
+				Stage:  "probe-pass",
+				Pass:   pass,
+				PoP:    pop,
+				Event:  "probed",
+				Fields: map[string]int64{"probes": int64(10 * pass), "hits": 3},
+				Attrs:  map[string]string{"vantage": "aws:" + pop},
+			})
+		}
+	}
+	return spans
+}
+
+// TestTraceOrderInvariant is the worker-count reproducibility claim:
+// spans emitted in any order (here: shuffled, from concurrent emitters)
+// serialize to identical JSONL.
+func TestTraceOrderInvariant(t *testing.T) {
+	spans := sampleSpans()
+	render := func(order []Span) string {
+		tr := NewTrace()
+		var wg sync.WaitGroup
+		for _, s := range order {
+			wg.Add(1)
+			go func(s Span) {
+				defer wg.Done()
+				tr.Emit(s)
+			}(s)
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render(spans)
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]Span(nil), spans...)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if got := render(shuffled); got != want {
+			t.Fatalf("trial %d: shuffled emission changed the serialized trace", trial)
+		}
+	}
+	if n := strings.Count(want, "\n"); n != len(spans) {
+		t.Errorf("JSONL has %d lines, want %d", n, len(spans))
+	}
+	if !strings.Contains(want, `"stage":"probe-pass"`) || !strings.Contains(want, `"pop":"fra"`) {
+		t.Errorf("serialized trace missing expected keys:\n%s", want)
+	}
+}
+
+func TestTraceSpansSorted(t *testing.T) {
+	tr := NewTrace()
+	epoch := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr.Emit(Span{Time: epoch.Add(time.Hour), Stage: "b", Event: "x"})
+	tr.Emit(Span{Time: epoch, Stage: "z", Event: "x"})
+	tr.Emit(Span{Time: epoch, Stage: "a", Pass: 1, Event: "x"})
+	tr.Emit(Span{Time: epoch, Stage: "a", Pass: 0, PoP: "q", Event: "x"})
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Spans()
+	if got[0].Stage != "a" || got[0].Pass != 0 || got[1].Pass != 1 || got[2].Stage != "z" || got[3].Stage != "b" {
+		t.Errorf("sort order wrong: %+v", got)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"clientmap/internal/metrics"
 	"clientmap/internal/par"
 	"clientmap/internal/snapshot"
 )
@@ -66,6 +67,15 @@ type Options struct {
 	StopAfter string
 	// Log receives human-readable stage progress lines; nil discards.
 	Log func(format string, args ...any)
+	// Trace, when set, receives one structured span per stage reporting
+	// whether it executed or was restored from a checkpoint, the artifact
+	// size for persisted stages, and the short fingerprint. Spans are
+	// stamped with TraceTime (not wall clock) so a trace is reproducible.
+	Trace *metrics.Trace
+	// TraceTime is the timestamp stamped on pipeline spans — callers pass
+	// the simulated campaign start. The zero value is fine (spans then
+	// sort purely by stage name).
+	TraceTime time.Time
 }
 
 // Handle is an opaque reference to a registered stage, used to declare
@@ -258,9 +268,11 @@ func (s *Stage[T]) produce(ctx context.Context, r *Runner) error {
 
 	if !persisted {
 		s.m.artifactHash = s.m.fingerprint
-		if s.codec == nil {
-			r.logf("stage %s: done in %v", s.m.name, took.Round(time.Millisecond))
-		}
+		r.logf("stage %s: done in %v", s.m.name, took.Round(time.Millisecond))
+		r.opts.Trace.Emit(metrics.Span{
+			Time: r.opts.TraceTime, Stage: s.m.name, Event: "executed",
+			Attrs: map[string]string{"fingerprint": short(s.m.fingerprint)},
+		})
 		return nil
 	}
 
@@ -276,6 +288,11 @@ func (s *Stage[T]) produce(ctx context.Context, r *Runner) error {
 	s.m.artifactHash = payloadHash
 	r.logf("stage %s: done in %v, checkpointed %d bytes in %v",
 		s.m.name, took.Round(time.Millisecond), len(data), time.Since(wstart).Round(time.Millisecond))
+	r.opts.Trace.Emit(metrics.Span{
+		Time: r.opts.TraceTime, Stage: s.m.name, Event: "executed",
+		Fields: map[string]int64{"artifact_bytes": int64(len(data))},
+		Attrs:  map[string]string{"fingerprint": short(s.m.fingerprint)},
+	})
 	return nil
 }
 
@@ -314,6 +331,11 @@ func (s *Stage[T]) tryRestore(r *Runner) bool {
 	s.m.restored = true
 	r.logf("stage %s: restored checkpoint (%d bytes in %v, fingerprint %s) — skipped",
 		s.m.name, len(data), time.Since(rstart).Round(time.Millisecond), short(s.m.fingerprint))
+	r.opts.Trace.Emit(metrics.Span{
+		Time: r.opts.TraceTime, Stage: s.m.name, Event: "restored",
+		Fields: map[string]int64{"artifact_bytes": int64(len(data))},
+		Attrs:  map[string]string{"fingerprint": short(s.m.fingerprint)},
+	})
 	return true
 }
 

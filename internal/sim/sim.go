@@ -19,6 +19,7 @@ import (
 	"clientmap/internal/faults"
 	"clientmap/internal/geo"
 	"clientmap/internal/gpdns"
+	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
 	"clientmap/internal/routeviews"
@@ -48,6 +49,12 @@ type Config struct {
 	WireCodec bool
 	// Start is the simulated campaign start; zero means clockx.Epoch.
 	Start time.Time
+	// Metrics, when set, instruments the assembled system: the Google
+	// front end counts queries, cache hits and rate-limit decisions under
+	// "gpdns/…", and Prober wraps the vantage and authoritative transports
+	// in dnsnet.Instrument ("dnsnet/vantage/…", "dnsnet/auth/…") outermost,
+	// outside any fault injector. Nil leaves the system uninstrumented.
+	Metrics *metrics.Registry
 }
 
 // System is the assembled environment.
@@ -65,6 +72,7 @@ type System struct {
 	faultCfg      *faults.Config
 	faultEpoch    time.Time
 	faultCounters *faults.Counters
+	metrics       *metrics.Registry
 }
 
 // New builds a System.
@@ -87,6 +95,7 @@ func New(cfg Config) (*System, error) {
 
 	auth := authdns.New(cfg.Seed, domains.Catalog())
 	gcfg := gpdns.DefaultConfig(cfg.Seed, clock)
+	gcfg.Metrics = cfg.Metrics
 	google := gpdns.NewServer(gcfg, router)
 	google.SetUpstream(auth)
 	google.SetLazyFill(gpdns.NewLazyFill(model, gcfg.PoolsPerPoP))
@@ -105,6 +114,8 @@ func New(cfg Config) (*System, error) {
 		Google: google,
 		Net:    net,
 		RV:     routeviews.FromWorld(w),
+
+		metrics: cfg.Metrics,
 	}
 	s.wireVantages()
 	return s, nil
@@ -186,7 +197,10 @@ func (s *System) ProberConfig() cacheprobe.Config {
 	}
 }
 
-// Prober builds a ready-to-run cache prober.
+// Prober builds a ready-to-run cache prober. When the system carries a
+// metrics registry, the vantage and authoritative transports are wrapped
+// in dnsnet.Instrument outermost — outside the fault injectors — so the
+// transport counters see what the prober sees, injected faults included.
 func (s *System) Prober(cfg cacheprobe.Config) *cacheprobe.Prober {
 	auth := cacheprobe.Authoritative{
 		Exchanger: s.Net.Client(netx.AddrFrom4(100, 64, 255, 1)),
@@ -195,5 +209,14 @@ func (s *System) Prober(cfg cacheprobe.Config) *cacheprobe.Prober {
 	if s.faultCfg != nil {
 		auth.Exchanger = faults.New(*s.faultCfg, "auth", s.faultEpoch, s.Clock, s.faultCounters, auth.Exchanger)
 	}
-	return cacheprobe.NewProber(cfg, s.vantages, auth)
+	auth.Exchanger = dnsnet.Instrument(s.metrics, "auth", auth.Exchanger)
+	vantages := s.vantages
+	if s.metrics != nil {
+		vantages = make([]cacheprobe.Vantage, len(s.vantages))
+		copy(vantages, s.vantages)
+		for i := range vantages {
+			vantages[i].Exchanger = dnsnet.Instrument(s.metrics, "vantage", vantages[i].Exchanger)
+		}
+	}
+	return cacheprobe.NewProber(cfg, vantages, auth)
 }

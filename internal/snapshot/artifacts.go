@@ -29,7 +29,8 @@ const (
 
 const (
 	// VersionCampaign 2: added the FaultStats reliability ledger.
-	VersionCampaign uint16 = 2
+	// VersionCampaign 3: added the metrics instrumentation ledger.
+	VersionCampaign uint16 = 3
 	// VersionDNSLogs 2: added the OpenRetries counter.
 	VersionDNSLogs       uint16 = 2
 	VersionCDN           uint16 = 1
@@ -206,6 +207,12 @@ func EncodeCampaign(w *Writer, c *cacheprobe.Campaign) {
 	w.Varint(c.Faults.RetriesSpent)
 	w.Varint(c.Faults.RetriesRecovered)
 	w.Varint(c.Faults.BudgetExhausted)
+
+	w.Int(len(c.Metrics))
+	for _, k := range sortedStringKeys(c.Metrics) {
+		w.String(k)
+		w.Varint(c.Metrics[k])
+	}
 }
 
 // DecodeCampaign reads a campaign written by EncodeCampaign. The decoded
@@ -303,6 +310,11 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 	c.Faults.RetriesSpent = r.Varint()
 	c.Faults.RetriesRecovered = r.Varint()
 	c.Faults.BudgetExhausted = r.Varint()
+
+	for i, n := 0, r.Int(); i < n && r.Err() == nil; i++ {
+		k := r.String()
+		c.Metrics[k] = r.Varint()
+	}
 	return c, r.Err()
 }
 

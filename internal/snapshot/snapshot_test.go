@@ -82,6 +82,9 @@ func TestCampaignRoundTrip(t *testing.T) {
 		InjectedDrops: 321, OutageDrops: 45, Truncations: 6, Duplicates: 7,
 		RetriesSpent: 280, RetriesRecovered: 270, BudgetExhausted: 11,
 	}
+	c.Metrics["cacheprobe/probe/probes"] = 98765
+	c.Metrics["cacheprobe/pop/fra/retry_delay_ms/le=100"] = 12
+	c.Metrics["dnsnet/vantage/timeouts"] = 0
 
 	roundTrip(t, KindCampaign, VersionCampaign,
 		func(w *Writer) { EncodeCampaign(w, c) },

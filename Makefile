@@ -3,12 +3,13 @@ GO ?= go
 .PHONY: build test race vet bench check cover fuzz-smoke golden-update
 
 # Packages whose coverage is gated in CI: the wire/transport layer, the
-# measurement cores, the stage runner and the metrics registry, where an
-# untested branch is a silently wrong result.
-COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/metrics/...
+# measurement cores, the stage runner, the metrics registry and the
+# degradation layer, where an untested branch is a silently wrong result.
+COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/metrics/... ./internal/health/...
 COVER_FLOOR = 70
-# The metrics registry backs the determinism guarantees of every exported
-# ledger, so it carries a higher floor.
+# The metrics registry and the health layer back the determinism
+# guarantees of every exported ledger and every breaker/failover
+# decision, so they carry a higher floor.
 COVER_FLOOR_METRICS = 80
 
 build:
@@ -21,9 +22,12 @@ vet:
 	$(GO) vet ./...
 
 # race runs the whole suite under the race detector; the campaign tests run
-# at ScaleTiny, so this covers the parallel probing engine end to end.
+# at ScaleTiny, so this covers the parallel probing engine end to end. The
+# chaos determinism pair runs several small-scale campaigns each, which
+# puts internal/experiments past go test's default 10m binary timeout
+# under the race detector — hence the explicit bound.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -36,7 +40,7 @@ cover:
 	awk -v floor=$(COVER_FLOOR) -v mfloor=$(COVER_FLOOR_METRICS) ' \
 		{ print } \
 		/coverage:/ { \
-			f = floor; if ($$2 ~ /internal\/metrics/) f = mfloor; \
+			f = floor; if ($$2 ~ /internal\/(metrics|health)/) f = mfloor; \
 			pct = $$5; sub(/%.*/, "", pct); \
 			if (pct + 0 < f) { bad = 1; print "FAIL: " $$2 " below " f "% floor" } \
 		} \
@@ -47,13 +51,16 @@ cover:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/dnswire
 	$(GO) test -run='^$$' -fuzz=FuzzReadTCP -fuzztime=10s ./internal/dnswire
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/faults
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/health
 
 # golden-update regenerates the golden regression corpus (the headline
-# statistics of a fixed small-scale campaign). Run after an intentional
-# behaviour change and review the diff: every moved number is a semantic
-# change to the reproduction.
+# statistics of a fixed small-scale campaign, plus the degraded-mode
+# stats of the same campaign under the chaos matrix). Run after an
+# intentional behaviour change and review the diff: every moved number is
+# a semantic change to the reproduction.
 golden-update:
-	CLIENTMAP_UPDATE_GOLDEN=1 $(GO) test -count=1 -run TestGoldenHeadline ./internal/experiments/
+	CLIENTMAP_UPDATE_GOLDEN=1 $(GO) test -count=1 -run 'TestGolden' ./internal/experiments/
 
 # check is the pre-merge gate: static analysis plus the race-enabled suite.
 check: vet race

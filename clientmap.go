@@ -34,6 +34,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/experiments"
 	"clientmap/internal/faults"
+	"clientmap/internal/health"
 	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
@@ -95,6 +96,12 @@ type Config struct {
 	// "attempts=3,timeout=2s,backoff=100ms,budget=1000". Empty (or
 	// "off") means single-try probing, where a timeout counts as a miss.
 	Retries string
+	// Health is the graceful-degradation policy: "on" enables per-target
+	// circuit breakers, hedged probes and vantage failover with the
+	// default thresholds; a spec like
+	// "window=15m,error-rate=0.5,open-after=4,probation=45m,hedge-after=150ms"
+	// tunes them. Empty (or "off") disables the layer entirely.
+	Health string
 	// Log receives stage progress lines (which stages ran, which were
 	// restored); nil discards them.
 	Log func(format string, args ...any)
@@ -137,6 +144,9 @@ func Run(cfg Config) (*Evaluation, error) {
 	if ecfg.Retry, err = cacheprobe.ParseRetry(cfg.Retries); err != nil {
 		return nil, fmt.Errorf("clientmap: %w", err)
 	}
+	if ecfg.Health, err = health.Parse(cfg.Health); err != nil {
+		return nil, fmt.Errorf("clientmap: %w", err)
+	}
 	ecfg.Metrics = metrics.NewRegistry()
 	if cfg.DebugAddr != "" {
 		srv, err := metrics.ServeDebug(cfg.DebugAddr, ecfg.Metrics)
@@ -168,6 +178,15 @@ func (e *Evaluation) Metrics() map[string]int64 { return e.res.MetricsLedger() }
 // trailing newline) — the -metrics-json payload, byte-identical for
 // equal configurations.
 func (e *Evaluation) MetricsJSON() []byte { return e.res.MetricsJSON() }
+
+// Degradation returns the run's graceful-degradation ledger: breaker
+// time per target, hedge outcomes, failover volume and the per-pass
+// coverage accounting. Enabled is false when Config.Health was off.
+func (e *Evaluation) Degradation() experiments.Degradation { return e.res.Degradation() }
+
+// DegradationJSON renders the degradation ledger as indented JSON — the
+// -degradation-json payload, byte-identical for equal configurations.
+func (e *Evaluation) DegradationJSON() ([]byte, error) { return e.res.Degradation().JSON() }
 
 // Stat is one paper-vs-measured headline comparison.
 type Stat struct {

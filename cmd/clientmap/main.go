@@ -19,17 +19,22 @@ import (
 	"clientmap"
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/faults"
+	"clientmap/internal/health"
 )
 
-// validateReliabilityFlags rejects malformed -faults/-retries specs before
-// the (possibly long) run starts. clientmap.Run re-parses the same specs;
-// this pass exists so a typo fails in milliseconds, not after a campaign.
-func validateReliabilityFlags(faultSpec, retrySpec string) error {
+// validateReliabilityFlags rejects malformed -faults/-retries/-health
+// specs before the (possibly long) run starts. clientmap.Run re-parses
+// the same specs; this pass exists so a typo fails in milliseconds, not
+// after a campaign.
+func validateReliabilityFlags(faultSpec, retrySpec, healthSpec string) error {
 	if _, err := faults.Parse(faultSpec); err != nil {
 		return fmt.Errorf("-faults: %w", err)
 	}
 	if _, err := cacheprobe.ParseRetry(retrySpec); err != nil {
 		return fmt.Errorf("-retries: %w", err)
+	}
+	if _, err := health.Parse(healthSpec); err != nil {
+		return fmt.Errorf("-health: %w", err)
 	}
 	return nil
 }
@@ -38,31 +43,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clientmap: ")
 	var (
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		scale     = flag.String("scale", "tiny", "world scale: tiny|small|medium|large")
-		prefix    = flag.String("prefix", "", "look up client activity for this CIDR prefix")
-		asn       = flag.Uint("asn", 0, "look up client activity for this AS number")
-		workers   = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
-		stateDir  = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
-		resume    = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
-		faultSpec = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
-		retrySpec = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
-		report    = flag.Bool("report", false, "print the full evaluation report")
-		coverage  = flag.Bool("coverage", false, "print per-country user coverage")
-		headline  = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
-		metricsTo = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
-		debugAddr = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. "localhost:6060") for the run's duration`)
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		scale      = flag.String("scale", "tiny", "world scale: tiny|small|medium|large")
+		prefix     = flag.String("prefix", "", "look up client activity for this CIDR prefix")
+		asn        = flag.Uint("asn", 0, "look up client activity for this AS number")
+		workers    = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
+		stateDir   = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
+		resume     = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
+		faultSpec  = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
+		retrySpec  = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
+		healthSpec = flag.String("health", "", `graceful-degradation policy: "on" for defaults, or e.g. "window=15m,error-rate=0.5,open-after=4,probation=45m,hedge-after=150ms" (empty or "off" = no breakers/hedging/failover)`)
+		degJSON    = flag.String("degradation-json", "", `write the degradation ledger (breakers, hedges, failover, coverage) as JSON to this file ("-" = stdout)`)
+		report     = flag.Bool("report", false, "print the full evaluation report")
+		coverage   = flag.Bool("coverage", false, "print per-country user coverage")
+		headline   = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
+		metricsTo  = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
+		debugAddr  = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. "localhost:6060") for the run's duration`)
 	)
 	flag.Parse()
 
 	if *resume && *stateDir == "" {
 		log.Fatal("-resume requires -state-dir")
 	}
-	if err := validateReliabilityFlags(*faultSpec, *retrySpec); err != nil {
+	if err := validateReliabilityFlags(*faultSpec, *retrySpec, *healthSpec); err != nil {
 		log.Fatal(err)
 	}
 	ccfg := clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers, StateDir: *stateDir, Resume: *resume,
-		Faults: *faultSpec, Retries: *retrySpec, DebugAddr: *debugAddr}
+		Faults: *faultSpec, Retries: *retrySpec, Health: *healthSpec, DebugAddr: *debugAddr}
 	if *stateDir != "" || *debugAddr != "" {
 		ccfg.Log = log.Printf
 	}
@@ -72,6 +79,19 @@ func main() {
 	}
 
 	did := false
+	if *degJSON != "" {
+		b, err := eval.DegradationJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		b = append(b, '\n')
+		if *degJSON == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*degJSON, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		did = true
+	}
 	if *metricsTo != "" {
 		b := eval.MetricsJSON()
 		if *metricsTo == "-" {

@@ -5,17 +5,19 @@ import (
 	"testing"
 )
 
-// The -faults/-retries specs must be rejected before the run starts, with
-// errors naming the offending flag and constraint.
+// The -faults/-retries/-health specs must be rejected before the run
+// starts, with errors naming the offending flag and constraint.
 func TestValidateReliabilityFlags(t *testing.T) {
 	cases := []struct {
-		name, faults, retries string
-		wantErr               string // empty = must validate
+		name, faults, retries, health string
+		wantErr                       string // empty = must validate
 	}{
-		{name: "both empty"},
-		{name: "both off", faults: "off", retries: "off"},
+		{name: "all empty"},
+		{name: "all off", faults: "off", retries: "off", health: "off"},
 		{name: "valid specs", faults: "loss=0.02,dup=0.01,trunc=0.005,jitter=50ms,outage=fra@24h+6h",
-			retries: "attempts=3,timeout=2s,backoff=100ms,budget=1000"},
+			retries: "attempts=3,timeout=2s,backoff=100ms,budget=1000",
+			health:  "window=15m,error-rate=0.5,open-after=4,probation=45m,hedge-after=150ms"},
+		{name: "health defaults", health: "on"},
 		{name: "loss above one", faults: "loss=2", wantErr: "-faults"},
 		{name: "negative loss", faults: "loss=-0.1", wantErr: "-faults"},
 		{name: "negative jitter", faults: "jitter=-5ms", wantErr: "-faults"},
@@ -25,18 +27,23 @@ func TestValidateReliabilityFlags(t *testing.T) {
 		{name: "missing attempts", retries: "timeout=2s", wantErr: "-retries"},
 		{name: "negative backoff", retries: "attempts=2,backoff=-1s", wantErr: "-retries"},
 		{name: "negative budget", retries: "attempts=2,budget=-5", wantErr: "-retries"},
+		{name: "health rate above one", health: "error-rate=1.5", wantErr: "-health"},
+		{name: "health zero window", health: "window=0s", wantErr: "-health"},
+		{name: "health trial above one", health: "trial=2", wantErr: "-health"},
+		{name: "unknown health key", health: "hedge=5ms", wantErr: "-health"},
+		{name: "health not key=value", health: "window", wantErr: "-health"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateReliabilityFlags(tc.faults, tc.retries)
+			err := validateReliabilityFlags(tc.faults, tc.retries, tc.health)
 			if tc.wantErr == "" {
 				if err != nil {
-					t.Fatalf("validateReliabilityFlags(%q, %q) = %v, want nil", tc.faults, tc.retries, err)
+					t.Fatalf("validateReliabilityFlags(%q, %q, %q) = %v, want nil", tc.faults, tc.retries, tc.health, err)
 				}
 				return
 			}
 			if err == nil {
-				t.Fatalf("validateReliabilityFlags(%q, %q) = nil, want error mentioning %q", tc.faults, tc.retries, tc.wantErr)
+				t.Fatalf("validateReliabilityFlags(%q, %q, %q) = nil, want error mentioning %q", tc.faults, tc.retries, tc.health, tc.wantErr)
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("error %q does not name the flag %q", err, tc.wantErr)

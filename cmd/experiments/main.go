@@ -19,46 +19,53 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/experiments"
 	"clientmap/internal/faults"
+	"clientmap/internal/health"
 	"clientmap/internal/metrics"
 	"clientmap/internal/randx"
 	"clientmap/internal/report"
 	"clientmap/internal/world"
 )
 
-// parseReliability turns the -faults/-retries spec strings into their
-// typed configs, rejecting out-of-range values (loss outside [0,1],
+// parseReliability turns the -faults/-retries/-health spec strings into
+// their typed configs, rejecting out-of-range values (loss outside [0,1],
 // attempts < 1, negative durations) with the parsers' own messages.
-func parseReliability(faultSpec, retrySpec string) (faults.Config, cacheprobe.Retry, error) {
+func parseReliability(faultSpec, retrySpec, healthSpec string) (faults.Config, cacheprobe.Retry, health.Config, error) {
 	fc, err := faults.Parse(faultSpec)
 	if err != nil {
-		return faults.Config{}, cacheprobe.Retry{}, fmt.Errorf("-faults: %w", err)
+		return faults.Config{}, cacheprobe.Retry{}, health.Config{}, fmt.Errorf("-faults: %w", err)
 	}
 	rc, err := cacheprobe.ParseRetry(retrySpec)
 	if err != nil {
-		return faults.Config{}, cacheprobe.Retry{}, fmt.Errorf("-retries: %w", err)
+		return faults.Config{}, cacheprobe.Retry{}, health.Config{}, fmt.Errorf("-retries: %w", err)
 	}
-	return fc, rc, nil
+	hc, err := health.Parse(healthSpec)
+	if err != nil {
+		return faults.Config{}, cacheprobe.Retry{}, health.Config{}, fmt.Errorf("-health: %w", err)
+	}
+	return fc, rc, hc, nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		seed      = flag.Uint64("seed", 2021, "simulation seed")
-		scale     = flag.String("scale", "small", "world scale: tiny|small|medium|large")
-		out       = flag.String("out", "", "write a markdown report to this file")
-		campaign  = flag.Int("campaign-hours", 120, "cache-probing campaign duration")
-		passes    = flag.Int("passes", 9, "probing passes within the campaign")
-		traceH    = flag.Int("trace-hours", 48, "DITL trace duration")
-		workers   = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
-		csvDir    = flag.String("csvdir", "", "export every table and figure as CSV into this directory")
-		stateDir  = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
-		resume    = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
-		faultSpec = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
-		retrySpec = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
-		relJSON   = flag.String("reliability-json", "", "write the fault/retry ledger as JSON to this file")
-		metricsTo = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
-		debugAddr = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address for the run's duration`)
+		seed       = flag.Uint64("seed", 2021, "simulation seed")
+		scale      = flag.String("scale", "small", "world scale: tiny|small|medium|large")
+		out        = flag.String("out", "", "write a markdown report to this file")
+		campaign   = flag.Int("campaign-hours", 120, "cache-probing campaign duration")
+		passes     = flag.Int("passes", 9, "probing passes within the campaign")
+		traceH     = flag.Int("trace-hours", 48, "DITL trace duration")
+		workers    = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
+		csvDir     = flag.String("csvdir", "", "export every table and figure as CSV into this directory")
+		stateDir   = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
+		resume     = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
+		faultSpec  = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
+		retrySpec  = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
+		healthSpec = flag.String("health", "", `graceful-degradation policy: "on" for defaults, or e.g. "window=15m,error-rate=0.5,open-after=4,probation=45m,hedge-after=150ms" (empty or "off" = no breakers/hedging/failover)`)
+		relJSON    = flag.String("reliability-json", "", "write the fault/retry ledger as JSON to this file")
+		degJSON    = flag.String("degradation-json", "", "write the degradation ledger (breakers, hedges, failover, coverage) as JSON to this file")
+		metricsTo  = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
+		debugAddr  = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address for the run's duration`)
 	)
 	flag.Parse()
 
@@ -85,7 +92,7 @@ func main() {
 		log.Fatal("-resume requires -state-dir")
 	}
 	var err error
-	if cfg.Faults, cfg.Retry, err = parseReliability(*faultSpec, *retrySpec); err != nil {
+	if cfg.Faults, cfg.Retry, cfg.Health, err = parseReliability(*faultSpec, *retrySpec, *healthSpec); err != nil {
 		log.Fatal(err)
 	}
 	cfg.Metrics = metrics.NewRegistry()
@@ -131,6 +138,16 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *relJSON)
+	}
+	if *degJSON != "" {
+		data, err := res.Degradation().JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*degJSON, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *degJSON)
 	}
 	if *metricsTo != "" {
 		b := res.MetricsJSON()

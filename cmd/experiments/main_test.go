@@ -4,14 +4,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"clientmap/internal/health"
 )
 
 // parseReliability must produce the typed configs for valid specs and
 // reject out-of-range values with errors naming the offending flag.
 func TestParseReliability(t *testing.T) {
-	fc, rc, err := parseReliability(
+	fc, rc, hc, err := parseReliability(
 		"loss=0.02,dup=0.01,trunc=0.005,jitter=50ms,outage=fra@24h+6h",
-		"attempts=3,timeout=2s,backoff=100ms,budget=1000")
+		"attempts=3,timeout=2s,backoff=100ms,budget=1000",
+		"window=10m,error-rate=0.6,hedge-after=100ms")
 	if err != nil {
 		t.Fatalf("valid specs rejected: %v", err)
 	}
@@ -25,25 +28,34 @@ func TestParseReliability(t *testing.T) {
 	if rc.Attempts != 3 || rc.Timeout != 2*time.Second || rc.Backoff != 100*time.Millisecond || rc.BudgetPerPoP != 1000 {
 		t.Errorf("retry policy not parsed: %+v", rc)
 	}
-
-	if _, _, err := parseReliability("", ""); err != nil {
-		t.Errorf("empty specs must mean off, got %v", err)
+	if !hc.On || hc.Window != 10*time.Minute || hc.ErrorRate != 0.6 || hc.HedgeAfter != 100*time.Millisecond {
+		t.Errorf("health policy not parsed: %+v", hc)
 	}
 
-	bad := []struct{ name, faults, retries, want string }{
-		{"loss above one", "loss=1.5", "", "-faults"},
-		{"trunc below zero", "trunc=-0.5", "", "-faults"},
-		{"bad jitter", "jitter=fast", "", "-faults"},
-		{"zero-length outage", "outage=fra@1h+0s", "", "-faults"},
-		{"zero attempts", "", "attempts=0", "-retries"},
-		{"negative timeout", "", "attempts=2,timeout=-1s", "-retries"},
-		{"unknown retry key", "", "attempts=2,tries=7", "-retries"},
+	if _, _, hc, err := parseReliability("", "", ""); err != nil || hc.Enabled() {
+		t.Errorf("empty specs must mean off, got %+v, %v", hc, err)
+	}
+	if _, _, hc, err := parseReliability("", "", "on"); err != nil || hc != health.Default() {
+		t.Errorf(`-health "on" must mean the default policy, got %+v, %v`, hc, err)
+	}
+
+	bad := []struct{ name, faults, retries, health, want string }{
+		{"loss above one", "loss=1.5", "", "", "-faults"},
+		{"trunc below zero", "trunc=-0.5", "", "", "-faults"},
+		{"bad jitter", "jitter=fast", "", "", "-faults"},
+		{"zero-length outage", "outage=fra@1h+0s", "", "", "-faults"},
+		{"zero attempts", "", "attempts=0", "", "-retries"},
+		{"negative timeout", "", "attempts=2,timeout=-1s", "", "-retries"},
+		{"unknown retry key", "", "attempts=2,tries=7", "", "-retries"},
+		{"health rate above one", "", "", "error-rate=2", "-health"},
+		{"unknown health key", "", "", "windows=5m", "-health"},
+		{"negative hedge threshold", "", "", "hedge-after=-1ms", "-health"},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
-			_, _, err := parseReliability(tc.faults, tc.retries)
+			_, _, _, err := parseReliability(tc.faults, tc.retries, tc.health)
 			if err == nil {
-				t.Fatalf("parseReliability(%q, %q) = nil, want error", tc.faults, tc.retries)
+				t.Fatalf("parseReliability(%q, %q, %q) = nil, want error", tc.faults, tc.retries, tc.health)
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("error %q does not name the flag %q", err, tc.want)

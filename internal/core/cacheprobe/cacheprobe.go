@@ -27,6 +27,7 @@ import (
 	"clientmap/internal/domains"
 	"clientmap/internal/faults"
 	"clientmap/internal/geo"
+	"clientmap/internal/health"
 	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
@@ -112,6 +113,14 @@ type Config struct {
 	// injected faults into Campaign.Faults. Nil means the substrate is
 	// fault-free (live probing, or simulation without -faults).
 	FaultCounters *faults.Counters
+
+	// Health, when set, is the degradation layer's breaker tracker (the
+	// same tracker whose breaker wrappers decorate the vantage
+	// exchangers). The prober synchronizes it with the checkpointed
+	// campaign at stage boundaries, consults its failover planner at
+	// pass starts, and hedges slow tries per its policy. Nil disables
+	// graceful degradation.
+	Health *health.Tracker
 
 	// Metrics, when set, receives the campaign's instrumentation under
 	// "cacheprobe/…": per-stage probe counts, cache hit/miss outcomes,
@@ -218,6 +227,12 @@ type Campaign struct {
 	// the ledger is bit-identical across worker counts and kill/resume.
 	// Empty when no registry is wired.
 	Metrics metrics.Ledger
+	// Health is the degradation layer's ledger: breaker window sums and
+	// transitions, hedge outcomes and the per-pass coverage accounting.
+	// Checkpointed with the campaign, so a resumed run replays breaker
+	// state — and reports coverage — exactly as an uninterrupted one.
+	// Zero when Config.Health is nil.
+	Health health.Ledger
 }
 
 // FaultStats counts injected transport faults and retry outcomes over a
@@ -232,6 +247,10 @@ type FaultStats struct {
 	Truncations int64 `json:"truncations"`
 	// Duplicates counts responses duplicated on the wire (absorbed).
 	Duplicates int64 `json:"duplicates"`
+	// BrownoutDrops counts probes dropped by a brownout's elevated loss.
+	BrownoutDrops int64 `json:"brownout_drops"`
+	// FlapDrops counts probes dropped while a flapping target was down.
+	FlapDrops int64 `json:"flap_drops"`
 	// RetriesSpent counts extra tries the retry policy issued.
 	RetriesSpent int64 `json:"retries_spent"`
 	// RetriesRecovered counts queries a retry rescued from failure.
@@ -246,6 +265,8 @@ func (f *FaultStats) addInjected(s faults.Stats) {
 	f.OutageDrops += s.OutageDrops
 	f.Truncations += s.Truncations
 	f.Duplicates += s.Duplicates
+	f.BrownoutDrops += s.BrownoutDrops
+	f.FlapDrops += s.FlapDrops
 }
 
 func (f *FaultStats) addRetries(a *retryAccount) {

@@ -1,0 +1,94 @@
+package cacheprobe
+
+import (
+	"context"
+	"fmt"
+
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/faults"
+)
+
+// hedgeOption is a probe's secondary path: an alternate vantage that
+// reaches the same PoP or — when samePath is set — the same vantage
+// aimed at another of the PoP's cache pools via an offset transaction id.
+type hedgeOption struct {
+	ex       dnsnet.Exchanger
+	server   string
+	samePath bool
+}
+
+// hedgeAttemptBase offsets the fault layer's attempt tag for secondary
+// attempts, far above any real retry count, so a hedge re-draws every
+// per-try fault decision independently of the try it backs up.
+const hedgeAttemptBase = 1 << 10
+
+// hedgePoolOffset shifts a same-path hedge's transaction id so the
+// front end's pool selection (txid modulo pools) lands it on a
+// different cache pool than the primary try.
+const hedgePoolOffset = 101
+
+// hedging reports whether the hedging policy applies to this account.
+func (p *Prober) hedging(acct *retryAccount) bool {
+	return acct != nil && acct.hedge != nil && p.hedgeAfter > 0
+}
+
+// tryOnce performs one try of a logical query, hedged when the policy
+// applies: if the primary attempt fails or its injected latency exceeds
+// the hedge threshold, one deterministic secondary attempt is issued on
+// the account's hedge path and the better answer wins.
+//
+// "First answer wins" in a simulation with scheduled time means: a
+// failed attempt loses to an answered one; between two answers, one
+// carrying answer records beats an empty one (the PoP *does* hold the
+// entry — the empty answer merely asked a pool that hasn't cached it);
+// then lower injected latency wins; exact ties break by hash. Every
+// input to the decision is deterministic, so the winner is too.
+func (p *Prober) tryOnce(ctx context.Context, ex dnsnet.Exchanger, server string, q *dnswire.Message, key string, try int, acct *retryAccount) (*dnswire.Message, error) {
+	if !p.hedging(acct) {
+		return ex.Exchange(ctx, server, q)
+	}
+	pctx, meter := faults.WithMeter(ctx)
+	resp, err := ex.Exchange(pctx, server, q)
+	ok := err == nil && resp != nil
+	if ok && meter.Injected() <= p.hedgeAfter {
+		return resp, err
+	}
+
+	acct.hedgeFired++
+	h := acct.hedge
+	hq := q
+	if h.samePath {
+		cp := *q
+		cp.ID += hedgePoolOffset
+		if cp.ID == 0 {
+			cp.ID = 1
+		}
+		hq = &cp
+	}
+	hctx, hmeter := faults.WithMeter(faults.WithAttempt(ctx, hedgeAttemptBase+try))
+	hresp, herr := h.ex.Exchange(hctx, h.server, hq)
+	if hok := herr == nil && hresp != nil; !hok {
+		return resp, err
+	} else if !ok {
+		acct.hedgeWon++
+		return hresp, herr
+	}
+
+	win := false
+	pAns, hAns := len(resp.Answers) > 0, len(hresp.Answers) > 0
+	switch {
+	case pAns != hAns:
+		win = hAns
+	case hmeter.Injected() != meter.Injected():
+		win = hmeter.Injected() < meter.Injected()
+	default:
+		// try leads the key (FNV-1a avalanches early bytes only).
+		win = p.cfg.Seed.HashUnit(fmt.Sprintf("health/hedge/%d/%s", try, key)) < 0.5
+	}
+	if !win {
+		return resp, err
+	}
+	acct.hedgeWon++
+	return hresp, herr
+}

@@ -12,13 +12,19 @@ import (
 // so an unrestricted snapshot delta could absorb their increments and
 // make the folded ledger schedule-dependent. The campaign chain is the
 // sole user of the probing transports and the Google front end while it
-// runs, which is what makes these three prefixes safe to fold.
-var LedgerPrefixes = []string{"cacheprobe/", "dnsnet/", "gpdns/"}
+// runs, which is what makes these prefixes safe to fold. Live breaker
+// gauges sit under "live/health/…", deliberately outside the fold: a
+// gauge's value depends on when it is scraped, not only on what happened.
+var LedgerPrefixes = []string{"cacheprobe/", "dnsnet/", "gpdns/", "health/"}
 
 // retryDelayBounds is the fixed bucket layout of the per-PoP
 // retry-latency histograms, in milliseconds of accumulated
 // backoff-plus-jitter per logical query.
 var retryDelayBounds = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// failoverDistBounds is the bucket layout of the failover-distance
+// histogram, in km from the task's scope to the fallback PoP.
+var failoverDistBounds = []int64{500, 1000, 2000, 4000, 8000, 16000}
 
 // proberMetrics is the prober's resolved handle set — resolved once at
 // construction so the hot paths never touch the registry mutex. All
@@ -36,6 +42,16 @@ type proberMetrics struct {
 	retrySpent     *metrics.Counter
 	retryRecovered *metrics.Counter
 	retryExhausted *metrics.Counter
+
+	hedgeFired        *metrics.Counter
+	hedgeWon          *metrics.Counter
+	breakerOpened     *metrics.Counter
+	breakerHalfOpened *metrics.Counter
+	breakerClosed     *metrics.Counter
+	failoverVantage   *metrics.Counter
+	failoverPoP       *metrics.Counter
+	failoverLost      *metrics.Counter
+	failoverDist      *metrics.Histogram
 }
 
 func newProberMetrics(reg *metrics.Registry) proberMetrics {
@@ -51,6 +67,16 @@ func newProberMetrics(reg *metrics.Registry) proberMetrics {
 		retrySpent:     reg.Counter("cacheprobe/retry/spent"),
 		retryRecovered: reg.Counter("cacheprobe/retry/recovered"),
 		retryExhausted: reg.Counter("cacheprobe/retry/exhausted"),
+
+		hedgeFired:        reg.Counter("health/hedge/fired"),
+		hedgeWon:          reg.Counter("health/hedge/won"),
+		breakerOpened:     reg.Counter("health/breaker/opened"),
+		breakerHalfOpened: reg.Counter("health/breaker/half_opened"),
+		breakerClosed:     reg.Counter("health/breaker/closed"),
+		failoverVantage:   reg.Counter("health/failover/vantage_tasks"),
+		failoverPoP:       reg.Counter("health/failover/pop_tasks"),
+		failoverLost:      reg.Counter("health/failover/lost_tasks"),
+		failoverDist:      reg.Histogram("health/failover/distance_km", failoverDistBounds),
 	}
 }
 
@@ -82,6 +108,13 @@ func (m *proberMetrics) countRetries(a *retryAccount) {
 	m.retrySpent.Add(int64(a.spent))
 	m.retryRecovered.Add(int64(a.recovered))
 	m.retryExhausted.Add(int64(a.exhausted))
+}
+
+// countHedges mirrors a task's hedge outcomes into the registry, on the
+// same sequential merge path.
+func (m *proberMetrics) countHedges(a *retryAccount) {
+	m.hedgeFired.Add(int64(a.hedgeFired))
+	m.hedgeWon.Add(int64(a.hedgeWon))
 }
 
 // stageMetrics snapshots the campaign-owned registry prefixes and returns

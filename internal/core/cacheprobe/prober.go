@@ -10,6 +10,7 @@ import (
 	"clientmap/internal/clockx"
 	"clientmap/internal/dnswire"
 	"clientmap/internal/geo"
+	"clientmap/internal/health"
 	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/par"
@@ -34,6 +35,12 @@ type Prober struct {
 	cfg      Config
 	vantages []Vantage
 	auth     Authoritative
+	// alts maps each discovered PoP to the vantages beyond the first
+	// whose anycast route reaches it — the hedge and failover partners
+	// that recover the PoP's shared caches when its primary degrades.
+	alts map[string][]*Vantage
+	// hedgeAfter caches the health policy's hedge threshold (0 = off).
+	hedgeAfter time.Duration
 	// m holds the resolved metric handles (all discarding when
 	// Config.Metrics is nil), so hot loops never touch the registry.
 	m proberMetrics
@@ -43,7 +50,11 @@ type Prober struct {
 // access used by the pre-scan.
 func NewProber(cfg Config, vantages []Vantage, auth Authoritative) *Prober {
 	cfg = cfg.withDefaults()
-	return &Prober{cfg: cfg, vantages: vantages, auth: auth, m: newProberMetrics(cfg.Metrics)}
+	p := &Prober{cfg: cfg, vantages: vantages, auth: auth, m: newProberMetrics(cfg.Metrics)}
+	if cfg.Health != nil && cfg.Health.Config().Hedging() {
+		p.hedgeAfter = cfg.Health.Config().HedgeAfter
+	}
+	return p
 }
 
 // workers is the intra-PoP pool size (Config.Workers, 0 = GOMAXPROCS).
@@ -120,6 +131,7 @@ func (p *Prober) snoop(ctx context.Context, v *Vantage, id uint16, domain string
 // one per vantage, and runs sequentially.
 func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) {
 	out := make(map[string]*Vantage)
+	p.alts = make(map[string][]*Vantage)
 	for i := range p.vantages {
 		v := &p.vantages[i]
 		q := dnswire.NewQuery(p.txid("discover/"+v.Name, 0), "o-o.myaddr.l.google.com", dnswire.TypeTXT)
@@ -137,6 +149,10 @@ func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) 
 		pop := txt.Strings[0]
 		if _, exists := out[pop]; !exists {
 			out[pop] = v
+		} else {
+			// Further vantages routed to an already-claimed PoP become its
+			// alternates, in vantage order: same caches, different path.
+			p.alts[pop] = append(p.alts[pop], v)
 		}
 	}
 	if len(out) == 0 {
@@ -175,6 +191,7 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 	defer fin()
 	finM := p.stageMetrics(camp)
 	defer finM()
+	p.healthSync(camp, p.cfg.Clock.Now())
 	prescanDelay := p.m.reg.Histogram("cacheprobe/prescan/retry_delay_ms", retryDelayBounds)
 	results := make([][]netx.Prefix, len(spans))
 	accounts := make([]retryAccount, len(spans))
@@ -245,6 +262,7 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 		scopeCount += int64(len(scopes))
 	}
 	p.m.prescanScopes.Add(scopeCount)
+	p.healthExport(camp)
 	p.cfg.Trace.Emit(metrics.Span{
 		Time: p.cfg.Clock.Now(), Stage: "scope-prescan", Event: "scanned",
 		Fields: map[string]int64{"queries": queries.Load(), "scopes": scopeCount},
@@ -290,6 +308,7 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 	defer fin()
 	finM := p.stageMetrics(camp)
 	defer finM()
+	p.healthSync(camp, now)
 
 	type calResult struct {
 		hit    bool
@@ -381,6 +400,7 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 		})
 	}
 	camp.ProbesSent += int(probes.Load())
+	p.healthExport(camp)
 }
 
 // MaxServiceRadiusKm caps service radii when calibration yields no hits
@@ -428,6 +448,19 @@ type probeResult struct {
 type Assignments struct {
 	popNames []string
 	tasks    [][]probeTask
+	// coords are the PoP locations the assignment was computed with
+	// (catalog coordinates, vantage fallback) — reused by the failover
+	// planner so in-radius checks match the original assignment's.
+	coords map[string]geo.Coord
+}
+
+// coord returns the PoP location assignment used, falling back to the
+// primary vantage's location exactly as BuildAssignments does.
+func (a *Assignments) coord(pop string, pops map[string]*Vantage) geo.Coord {
+	if c, ok := a.coords[pop]; ok {
+		return c
+	}
+	return pops[pop].Coord
 }
 
 // BuildAssignments computes every PoP's probe assignment (the scopes
@@ -464,7 +497,13 @@ func (p *Prober) BuildAssignments(pops map[string]*Vantage, popCoords map[string
 			cal.Assigned = len(assignments[pi])
 		}
 	}
-	return &Assignments{popNames: popNames, tasks: assignments}
+	coords := make(map[string]geo.Coord, len(popNames))
+	for _, pop := range popNames {
+		if c, ok := popCoords[pop]; ok {
+			coords[pop] = c
+		}
+	}
+	return &Assignments{popNames: popNames, tasks: assignments, coords: coords}
 }
 
 // ProbePass runs one assignment loop (pass) of stage 4 and merges its
@@ -490,6 +529,11 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 	defer fin()
 	finM := p.stageMetrics(camp)
 	defer finM()
+	// Sync the breaker tracker to the checkpointed campaign and compute
+	// this pass's failover plan from the frozen timeline — sequentially,
+	// before any worker starts, so routing is a pure function of state.
+	p.healthSync(camp, passStart)
+	plans := p.planPass(pops, asg, camp, pass, passStart)
 	passProbes, passHits := p.m.passProbes(pass), p.m.passHits(pass)
 	results := make([][]probeResult, len(popNames))
 	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
@@ -500,16 +544,27 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 		res := make([]probeResult, len(tasks))
 		par.ForEach(len(tasks), p.workers(), func(ti int) {
 			tk := tasks[ti]
+			pv := v
+			var hedge hedgeOption
+			var r probeResult
+			if plans != nil {
+				rt := plans[pi].route(ti)
+				if rt.kind == health.RouteLost {
+					return // no in-radius fallback: not probed this pass
+				}
+				pv = rt.v
+				hedge = plans[pi].hedgeFor(rt)
+				r.retry.hedge = &hedge
+			}
 			// Schedule probes evenly across the pass window, as the
 			// live rate limiter would.
 			offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
 			tctx := p.scheduleCtx(ctx, passStart.Add(offset))
-			var r probeResult
 			r.retry.remaining = p.retryAllowance(fmt.Sprintf("probe/%d/%s", pass, pop), ti, len(tasks))
 			r.retry.delays = delays
 			for a := 0; a < p.cfg.Redundancy; a++ {
 				key := fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope)
-				hit, respScope := p.snoop(tctx, v, p.txid(key, a), tk.domain, tk.scope,
+				hit, respScope := p.snoop(tctx, pv, p.txid(key, a), tk.domain, tk.scope,
 					fmt.Sprintf("%s/%d", key, a), &r.retry)
 				r.probes++
 				if hit {
@@ -525,12 +580,40 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 	// Deterministic merge: replay the pass sequentially in sorted-PoP,
 	// task-index order — the order the sequential prober issued probes
 	// in, so first-hitting-PoP attribution and hit-time order match.
+	cov := health.PassCoverage{Pass: pass}
 	for pi, pop := range popNames {
 		tasks := asg.tasks[pi]
 		var popProbes, popHits, popSpent int64
 		for ti := range results[pi] {
 			r := &results[pi][ti]
-			sent := int64(r.probes + r.retry.spent)
+			hitPoP := pop
+			if plans != nil {
+				rt := plans[pi].route(ti)
+				cov.Assigned++
+				switch rt.kind {
+				case health.RoutePrimary:
+					cov.Primary++
+				case health.RouteTrial:
+					cov.Trial++
+				case health.RouteAlternate:
+					cov.Alternate++
+					camp.Health.FailOver(pop)
+					p.m.failoverVantage.Inc()
+				case health.RouteFallback:
+					cov.Fallback++
+					camp.Health.FailOver(pop)
+					p.m.failoverPoP.Inc()
+					hitPoP = rt.pop // hits belong to the PoP that served them
+				case health.RouteLost:
+					cov.Lost++
+					camp.Health.LoseTask(pop, ti)
+					p.m.failoverLost.Inc()
+					continue // the slot holds no probe to account
+				}
+				camp.Health.AddHedges(int64(r.retry.hedgeFired), int64(r.retry.hedgeWon))
+				p.m.countHedges(&r.retry)
+			}
+			sent := int64(r.probes + r.retry.spent + r.retry.hedgeFired)
 			camp.ProbesSent += int(sent)
 			popProbes += sent
 			popSpent += int64(r.retry.spent)
@@ -538,7 +621,7 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 			p.m.countRetries(&r.retry)
 			if r.hit {
 				popHits++
-				p.recordHit(camp, pass, pop, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
+				p.recordHit(camp, pass, hitPoP, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
 			}
 		}
 		p.m.probeProbes.Add(popProbes)
@@ -555,6 +638,14 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 				"hits": popHits, "retries_spent": popSpent,
 			},
 		})
+	}
+	if plans != nil {
+		camp.Health.Coverage = append(camp.Health.Coverage, cov)
+		// Advance to the pass end so this pass's observations (all
+		// scheduled inside the window) are replayed into transitions the
+		// next pass's plan — and a resumed run — will see.
+		p.cfg.Health.Advance(passStart.Add(passWindow))
+		p.healthExport(camp)
 	}
 }
 

@@ -144,6 +144,14 @@ type retryAccount struct {
 	// nothing — and every delay is a pure hash of the query key, so the
 	// histogram is deterministic for any worker schedule.
 	delays *metrics.Histogram
+	// hedge, when set, is the secondary path for the hedging policy:
+	// failed or slow tries issue one deterministic secondary attempt
+	// against it (see Prober.tryOnce).
+	hedge *hedgeOption
+	// hedgeFired and hedgeWon count secondary attempts issued and
+	// secondary answers preferred, folded into the campaign's health
+	// ledger at merge time.
+	hedgeFired, hedgeWon int
 }
 
 // add folds another account's spend into this one (merge-time totals).
@@ -151,6 +159,8 @@ func (a *retryAccount) add(o *retryAccount) {
 	a.spent += o.spent
 	a.recovered += o.recovered
 	a.exhausted += o.exhausted
+	a.hedgeFired += o.hedgeFired
+	a.hedgeWon += o.hedgeWon
 }
 
 // retryAllowance spreads the per-PoP retry budget across a stage's tasks
@@ -189,10 +199,17 @@ func (p *Prober) retryAllowance(scope string, ti, tasks int) int {
 // plus redundancy attempt); acct may be nil (no budget, no accounting).
 func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server string, q *dnswire.Message, key string, acct *retryAccount) (*dnswire.Message, error) {
 	r := p.cfg.Retry
-	if !r.Enabled() {
+	if !r.Enabled() && r.Timeout <= 0 && !p.hedging(acct) {
+		// Zero-value fast path: Attempts ≤ 1 means a single try, and
+		// with no timeout to arm and no hedge partner there is nothing
+		// for the loop below to add.
 		return ex.Exchange(ctx, server, q)
 	}
+	// Attempts=0 (the zero value) means a single try, same as 1.
 	extra := r.Attempts - 1
+	if extra < 0 {
+		extra = 0
+	}
 	clamped := false
 	if acct != nil && acct.remaining >= 0 && acct.remaining < extra {
 		extra = acct.remaining
@@ -227,7 +244,7 @@ func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server strin
 		if r.Timeout > 0 && !sim {
 			tctx, cancel = context.WithTimeout(tctx, r.Timeout)
 		}
-		resp, err = ex.Exchange(tctx, server, q)
+		resp, err = p.tryOnce(tctx, ex, server, q, key, try, acct)
 		cancel()
 		if ok := err == nil && resp != nil && !resp.Truncated; ok || try >= extra {
 			break

@@ -1,0 +1,152 @@
+package cacheprobe
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"clientmap/internal/dnswire"
+	"clientmap/internal/randx"
+)
+
+// countingExchanger fails the first `failures` exchanges and counts calls.
+type countingExchanger struct {
+	calls    int
+	failures int
+}
+
+func (e *countingExchanger) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	e.calls++
+	if e.calls <= e.failures {
+		return nil, errors.New("synthetic failure")
+	}
+	return &dnswire.Message{ID: q.ID}, nil
+}
+
+// countingClock is a non-simulated clock that records how often the retry
+// loop armed a backoff timer. It is deliberately not a *clockx.Sim, so
+// exchange takes the real-clock path where Backoff > 0 means Sleep.
+type countingClock struct {
+	sleeps int
+}
+
+func (c *countingClock) Now() time.Time        { return time.Unix(0, 0) }
+func (c *countingClock) Sleep(d time.Duration) { c.sleeps++ }
+
+// TestRetryZeroValues pins the Retry policy's zero-value edge cases:
+// Attempts=0 (the zero value) means exactly one try, Backoff=0 never arms
+// a timer between tries, and the retry loop only sleeps when a positive
+// backoff demands it.
+func TestRetryZeroValues(t *testing.T) {
+	cases := []struct {
+		name       string
+		retry      Retry
+		failures   int // exchanges that fail before one succeeds
+		wantCalls  int
+		wantSleeps int
+	}{
+		{name: "zero value is a single try", retry: Retry{}, failures: 99, wantCalls: 1},
+		// Timeout > 0 forces the retry loop (not the fast path); the
+		// zero Attempts must still mean one try, like Attempts=1.
+		{name: "attempts zero means one try in the loop", retry: Retry{Timeout: time.Second}, failures: 99, wantCalls: 1},
+		{name: "attempts one never retries", retry: Retry{Attempts: 1, Backoff: 10 * time.Millisecond, Timeout: time.Second}, failures: 99, wantCalls: 1},
+		{name: "backoff zero never arms a timer", retry: Retry{Attempts: 3}, failures: 99, wantCalls: 3, wantSleeps: 0},
+		{name: "positive backoff sleeps once per retry", retry: Retry{Attempts: 3, Backoff: time.Nanosecond}, failures: 99, wantCalls: 3, wantSleeps: 2},
+		{name: "first-try success never sleeps", retry: Retry{Attempts: 3, Backoff: time.Nanosecond}, failures: 0, wantCalls: 1, wantSleeps: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.retry.Validate(); err != nil {
+				t.Fatalf("policy unexpectedly invalid: %v", err)
+			}
+			clk := &countingClock{}
+			ex := &countingExchanger{failures: tc.failures}
+			p := &Prober{cfg: Config{Seed: randx.Seed(7), Clock: clk, Retry: tc.retry}}
+			_, _ = p.exchange(context.Background(), ex, "test", &dnswire.Message{}, "zero/test", nil)
+			if ex.calls != tc.wantCalls {
+				t.Errorf("exchanges = %d, want %d", ex.calls, tc.wantCalls)
+			}
+			if clk.sleeps != tc.wantSleeps {
+				t.Errorf("backoff sleeps = %d, want %d", clk.sleeps, tc.wantSleeps)
+			}
+		})
+	}
+}
+
+// TestRetryFingerprint: the fingerprint is "off" for any single-try
+// policy and canonical otherwise.
+func TestRetryFingerprint(t *testing.T) {
+	if got := (Retry{}).Fingerprint(); got != "off" {
+		t.Errorf("zero-value fingerprint = %q, want off", got)
+	}
+	if got := (Retry{Attempts: 1, Timeout: time.Second}).Fingerprint(); got != "off" {
+		t.Errorf("single-try fingerprint = %q, want off", got)
+	}
+	want := "attempts=3,timeout=2s,backoff=100ms,budget=1000"
+	r, err := ParseRetry(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Fingerprint(); got != want {
+		t.Errorf("fingerprint = %q, want %q", got, want)
+	}
+}
+
+// TestRetryAllowance: the per-PoP budget is spread deterministically
+// across a stage's tasks — base share everywhere, totals near the
+// budget, unlimited (-1) when no budget is set, zero when retries are
+// off.
+func TestRetryAllowance(t *testing.T) {
+	p := &Prober{cfg: Config{Seed: randx.Seed(7)}}
+	if got := p.retryAllowance("scope", 0, 10); got != 0 {
+		t.Errorf("retries off: allowance = %d, want 0", got)
+	}
+	p.cfg.Retry = Retry{Attempts: 3}
+	if got := p.retryAllowance("scope", 0, 10); got != -1 {
+		t.Errorf("no budget: allowance = %d, want -1 (unlimited)", got)
+	}
+	p.cfg.Retry = Retry{Attempts: 3, BudgetPerPoP: 25}
+	total := 0
+	for ti := 0; ti < 10; ti++ {
+		a := p.retryAllowance("scope", ti, 10)
+		if a < 2 || a > 3 {
+			t.Errorf("task %d allowance = %d, want floor(2.5) or its ceil", ti, a)
+		}
+		if again := p.retryAllowance("scope", ti, 10); again != a {
+			t.Errorf("task %d allowance not deterministic: %d then %d", ti, a, again)
+		}
+		total += a
+	}
+	if total < 20 || total > 30 {
+		t.Errorf("allowance total = %d, want near the budget of 25", total)
+	}
+}
+
+// TestRetryNegativeValuesRejected pins the validation story for negative
+// knobs: Validate names the offending field, and ParseRetry (the cmd flag
+// path) produces a clear message for each.
+func TestRetryNegativeValuesRejected(t *testing.T) {
+	bad := []struct {
+		name  string
+		retry Retry
+		spec  string
+		want  string
+	}{
+		{"negative attempts", Retry{Attempts: -1}, "attempts=-1", "attempts"},
+		{"negative timeout", Retry{Attempts: 2, Timeout: -time.Second}, "attempts=2,timeout=-1s", "timeout"},
+		{"negative backoff", Retry{Attempts: 2, Backoff: -time.Second}, "attempts=2,backoff=-1s", "backoff"},
+		{"negative budget", Retry{Attempts: 2, BudgetPerPoP: -5}, "attempts=2,budget=-5", "budget"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.retry.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want error naming %q", err, tc.want)
+			}
+			if _, err := ParseRetry(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ParseRetry(%q) = %v, want error naming %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+}

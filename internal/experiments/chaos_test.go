@@ -7,10 +7,38 @@ import (
 
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/faults"
+	"clientmap/internal/health"
 	"clientmap/internal/pipeline"
 	"clientmap/internal/randx"
+	"clientmap/internal/sim"
 	"clientmap/internal/world"
 )
+
+// multiVantagePrimaries returns the primary vantage names of PoPs reached
+// by at least two vantages, in vantage order. The primary is the first
+// vantage routed to a PoP — the same rule DiscoverPoPs applies — so these
+// are the victims a degradation test can knock out while same-PoP
+// failover recovers full coverage.
+func multiVantagePrimaries(sys *sim.System) []string {
+	primaries := make(map[int]string)
+	listed := make(map[int]bool)
+	var multi []string
+	for _, v := range sys.Vantages() {
+		idx := sys.Router.PoPForVantage(v.Coord)
+		if idx < 0 {
+			continue
+		}
+		if prim, ok := primaries[idx]; ok {
+			if !listed[idx] {
+				listed[idx] = true
+				multi = append(multi, prim)
+			}
+		} else {
+			primaries[idx] = v.Name
+		}
+	}
+	return multi
+}
 
 // TestChaosCampaignDeterminism is the fault-injection layer's headline
 // guarantee, in two halves:
@@ -153,4 +181,145 @@ func TestChaosCampaignDeterminism(t *testing.T) {
 	}
 	t.Logf("baseline %d prefixes; recall with retries %.4f, without %.4f; ledger %+v",
 		cleanCov, chaosRecall, bareRecall, fl)
+}
+
+// TestDegradedCampaignDeterminism is the degradation layer's headline
+// guarantee: a campaign with one vantage browning out for six hours and
+// one PoP flapping up and down still produces byte-identical results
+// across worker counts and a mid-campaign kill-and-resume, recovers at
+// least 95% of the zero-fault baseline's recall through hedging and
+// failover, and reports the residual gap in its coverage ledger to within
+// ±0.1 percentage points.
+func TestDegradedCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run ScaleSmall campaign")
+	}
+	base := DefaultConfig(randx.Seed(2026), world.ScaleSmall)
+	base.CampaignDuration = 24 * time.Hour
+	base.Passes = 3
+	base.TraceDuration = 6 * time.Hour
+
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCov := clean.PfxCacheProbe.Len()
+	if cleanCov == 0 {
+		t.Fatal("baseline run found no active prefixes")
+	}
+
+	// Victims: primary vantages of PoPs that have at least one alternate
+	// vantage, so failover within the PoP can recover the full coverage.
+	multi := multiVantagePrimaries(clean.Sys)
+	if len(multi) < 2 {
+		t.Fatalf("need two multi-vantage PoPs, found %d", len(multi))
+	}
+	brownVictim, flapVictim := multi[0], multi[1]
+
+	// Both windows start after the discovery and calibration queries
+	// (scheduled at the epoch), so the degraded run probes the same
+	// assignment the baseline does. The brownout inflates latency past
+	// the hedge threshold and drops up to half the victim's queries for
+	// six hours; the flap holds the other victim down seven hours out of
+	// every eight for the rest of the campaign.
+	deg := base
+	deg.Faults = faults.Config{
+		Brownouts: []faults.Brownout{{
+			Target: brownVictim, Start: 30 * time.Minute, Duration: 6 * time.Hour,
+			ExtraLatency: 400 * time.Millisecond, ExtraLoss: 0.5,
+		}},
+		Flaps: []faults.Flap{{
+			Target: flapVictim, Start: time.Hour, Duration: 23 * time.Hour,
+			Period: 8 * time.Hour, Down: 7 * time.Hour,
+		}},
+	}
+	deg.Health = health.Default()
+
+	d1 := deg
+	d1.Workers = 1
+	w1, err := Run(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8 := deg
+	d8.Workers = 8
+	w8, err := Run(d8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "workers=1", "workers=8", w1, w8)
+	if w1.Campaign.Faults != w8.Campaign.Faults {
+		t.Errorf("fault ledgers differ:\nworkers=1 %+v\nworkers=8 %+v", w1.Campaign.Faults, w8.Campaign.Faults)
+	}
+	if w1.RenderAll() != w8.RenderAll() {
+		t.Error("rendered reports differ between worker counts under degradation")
+	}
+	j1, err1 := w1.Degradation().JSON()
+	j8, err8 := w8.Degradation().JSON()
+	if err1 != nil || err8 != nil {
+		t.Fatalf("degradation JSON: %v, %v", err1, err8)
+	}
+	if string(j1) != string(j8) {
+		t.Errorf("degradation reports differ:\nworkers=1 %s\nworkers=8 %s", j1, j8)
+	}
+
+	// The degradation machinery must actually have engaged.
+	fl := w1.Campaign.Faults
+	if fl.BrownoutDrops == 0 {
+		t.Error("no brownout drops injected")
+	}
+	if fl.FlapDrops == 0 {
+		t.Error("no flap drops injected")
+	}
+	led := &w1.Campaign.Health
+	if led.HedgesFired == 0 || led.HedgesWon == 0 {
+		t.Errorf("hedging idle under degradation: fired=%d won=%d", led.HedgesFired, led.HedgesWon)
+	}
+	if len(led.Transitions) == 0 {
+		t.Error("no breaker transitions replayed")
+	}
+	var failedOver int64
+	for _, n := range led.FailedOver {
+		failedOver += n
+	}
+	if failedOver == 0 {
+		t.Error("no task slots failed over despite a flapping PoP")
+	}
+
+	// Kill-and-resume determinism: the health ledger is checkpointed
+	// state, so the resumed run must replay the same breaker timeline.
+	dir := t.TempDir()
+	kcfg := deg
+	kcfg.Workers = 8
+	kcfg.StateDir = dir
+	kcfg.StopAfter = ProbePassStage(1)
+	if _, err := Run(kcfg); !errors.Is(err, pipeline.ErrStopped) {
+		t.Fatalf("stopped run: got error %v, want pipeline.ErrStopped", err)
+	}
+	rcfg := deg
+	rcfg.Workers = 8
+	rcfg.StateDir = dir
+	rcfg.Resume = true
+	resumed, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "uninterrupted", "resumed", w1, resumed)
+	if w1.RenderAll() != resumed.RenderAll() {
+		t.Error("rendered reports differ between the uninterrupted and the resumed degraded run")
+	}
+
+	// Recall against the clean baseline, and the coverage ledger's own
+	// estimate of what was lost: the two must agree to within 0.1 pp.
+	recall := float64(w1.PfxCacheProbe.Set.IntersectCount(clean.PfxCacheProbe.Set)) / float64(cleanCov)
+	if recall < 0.95 {
+		t.Errorf("baseline recall under degradation = %.4f, want ≥ 0.95", recall)
+	}
+	gapPP := 100 * (1 - recall)
+	lossPP := led.EstimatedLossPP()
+	if diff := lossPP - gapPP; diff < -0.1 || diff > 0.1 {
+		t.Errorf("coverage ledger estimate %.3f pp vs measured gap %.3f pp (want within ±0.1 pp)", lossPP, gapPP)
+	}
+	t.Logf("baseline %d prefixes; recall %.4f; ledger loss %.3f pp; hedges %d/%d; failed over %d; transitions %d",
+		cleanCov, recall, lossPP, led.HedgesFired, led.HedgesWon, failedOver, len(led.Transitions))
 }

@@ -21,6 +21,7 @@ import (
 	"clientmap/internal/core/datasets"
 	"clientmap/internal/core/dnslogs"
 	"clientmap/internal/faults"
+	"clientmap/internal/health"
 	"clientmap/internal/metrics"
 	"clientmap/internal/randx"
 	"clientmap/internal/routeviews"
@@ -69,6 +70,12 @@ type Config struct {
 	// policy; the zero value is a single try, where timeouts count as
 	// misses exactly as the paper's live probing treats them.
 	Retry cacheprobe.Retry
+	// Health is the graceful-degradation policy: per-target circuit
+	// breakers over the measurement transports, hedged probes, and
+	// vantage/PoP failover with coverage accounting. The zero value turns
+	// the whole layer off. The policy seed is keyed to Seed; any other
+	// field change invalidates the campaign-chain checkpoints.
+	Health health.Config
 
 	// StateDir is the pipeline checkpoint directory; empty disables
 	// checkpointing (the whole run happens in memory, as before).

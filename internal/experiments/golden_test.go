@@ -9,15 +9,23 @@ import (
 	"testing"
 	"time"
 
+	"clientmap/internal/faults"
+	"clientmap/internal/health"
 	"clientmap/internal/randx"
+	"clientmap/internal/sim"
 	"clientmap/internal/world"
 )
 
-// goldenPath is the checked-in golden regression corpus: the 11 headline
-// statistics of a fixed small-scale campaign. Regenerate after an
-// intentional behaviour change with `make golden-update` and review the
-// diff — every moved number is a semantic change to the reproduction.
-const goldenPath = "testdata/golden_headline.json"
+// The checked-in golden regression corpus: the 11 headline statistics of
+// a fixed small-scale campaign, plus the degraded-mode stats of the same
+// campaign under brownout+flap chaos with the degradation layer on.
+// Regenerate after an intentional behaviour change with
+// `make golden-update` and review the diff — every moved number is a
+// semantic change to the reproduction.
+const (
+	goldenPath            = "testdata/golden_headline.json"
+	goldenDegradationPath = "testdata/golden_degradation.json"
+)
 
 // goldenTolerancePct is the per-statistic slack, in percentage points.
 // The run is bit-deterministic, so the tolerance only absorbs benign
@@ -30,6 +38,60 @@ func goldenConfig() Config {
 	cfg.Passes = 3
 	cfg.TraceDuration = 6 * time.Hour
 	return cfg
+}
+
+// goldenLoad handles the update-vs-verify split shared by the golden
+// tests: with CLIENTMAP_UPDATE_GOLDEN set it rewrites path from got and
+// reports false (nothing to compare); otherwise it unmarshals path into
+// want and reports true.
+func goldenLoad(t *testing.T, path string, got, want any) bool {
+	t.Helper()
+	if os.Getenv("CLIENTMAP_UPDATE_GOLDEN") != "" {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `make golden-update`)", err)
+	}
+	if err := json.Unmarshal(data, want); err != nil {
+		t.Fatal(err)
+	}
+	return true
+}
+
+// goldenCompare checks got against want field by field: floats must agree
+// within goldenTolerancePct, integers exactly.
+func goldenCompare(t *testing.T, got, want any) {
+	t.Helper()
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	typ := gv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		switch typ.Field(i).Type.Kind() {
+		case reflect.Float64:
+			g, w := gv.Field(i).Float(), wv.Field(i).Float()
+			if math.Abs(g-w) > goldenTolerancePct {
+				t.Errorf("%s = %.4f, golden %.4f (Δ %.4f > %.1fpp)", name, g, w, math.Abs(g-w), goldenTolerancePct)
+			}
+		case reflect.Int, reflect.Int64:
+			if g, w := gv.Field(i).Int(), wv.Field(i).Int(); g != w {
+				t.Errorf("%s = %d, golden %d", name, g, w)
+			}
+		default:
+			t.Fatalf("unhandled golden field kind %s for %s", typ.Field(i).Type.Kind(), name)
+		}
+	}
 }
 
 // TestGoldenHeadline locks the whole evaluation down end to end: a seeded
@@ -47,47 +109,86 @@ func TestGoldenHeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := res.ComputeHeadline()
-
-	if os.Getenv("CLIENTMAP_UPDATE_GOLDEN") != "" {
-		data, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("updated %s", goldenPath)
+	var want Headline
+	if !goldenLoad(t, goldenPath, got, &want) {
 		return
 	}
+	goldenCompare(t, got, want)
+}
 
-	data, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("%v (regenerate with `make golden-update`)", err)
+// DegradedGolden is the degraded-mode slice of the golden corpus: what
+// the degradation layer reports when the golden campaign runs under a
+// fixed brownout+flap chaos matrix. Locking these catches regressions in
+// breaker replay, hedge accounting and failover planning that leave the
+// headline statistics untouched.
+type DegradedGolden struct {
+	CoverageLossPP     float64 `json:"coverage_loss_pp"`
+	HedgeWinRatePct    float64 `json:"hedge_win_rate_pct"`
+	BreakerTransitions int     `json:"breaker_transitions"`
+	HedgesFired        int64   `json:"hedges_fired"`
+	HedgesWon          int64   `json:"hedges_won"`
+	TasksFailedOver    int64   `json:"tasks_failed_over"`
+	TasksLost          int64   `json:"tasks_lost"`
+}
+
+// TestGoldenDegradation locks the degradation layer's outputs for the
+// golden campaign under the chaos matrix also used by the determinism
+// tests: one multi-vantage PoP's primary browning out for six hours, a
+// second one flapping seven hours down out of every eight. The victims
+// are picked from the seeded world, so the spec is as reproducible as
+// the campaign itself.
+func TestGoldenDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ScaleSmall campaign")
 	}
-	var want Headline
-	if err := json.Unmarshal(data, &want); err != nil {
+	cfg := goldenConfig()
+	sys, err := sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
 		t.Fatal(err)
 	}
-
-	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
-	typ := gv.Type()
-	for i := 0; i < typ.NumField(); i++ {
-		name := typ.Field(i).Name
-		switch typ.Field(i).Type.Kind() {
-		case reflect.Float64:
-			g, w := gv.Field(i).Float(), wv.Field(i).Float()
-			if math.Abs(g-w) > goldenTolerancePct {
-				t.Errorf("%s = %.4f, golden %.4f (Δ %.4f > %.1fpp)", name, g, w, math.Abs(g-w), goldenTolerancePct)
-			}
-		case reflect.Int:
-			if g, w := gv.Field(i).Int(), wv.Field(i).Int(); g != w {
-				t.Errorf("%s = %d, golden %d", name, g, w)
-			}
-		default:
-			t.Fatalf("unhandled Headline field kind %s for %s", typ.Field(i).Type.Kind(), name)
-		}
+	multi := multiVantagePrimaries(sys)
+	if len(multi) < 2 {
+		t.Fatalf("need two multi-vantage PoPs, found %d", len(multi))
 	}
+	cfg.Faults = faults.Config{
+		Brownouts: []faults.Brownout{{
+			Target: multi[0], Start: 30 * time.Minute, Duration: 6 * time.Hour,
+			ExtraLatency: 400 * time.Millisecond, ExtraLoss: 0.5,
+		}},
+		Flaps: []faults.Flap{{
+			Target: multi[1], Start: time.Hour, Duration: 23 * time.Hour,
+			Period: 8 * time.Hour, Down: 7 * time.Hour,
+		}},
+	}
+	cfg.Health = health.Default()
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Degradation()
+	if !d.Enabled {
+		t.Fatal("degradation layer reported disabled")
+	}
+	var failedOver, lost int64
+	for _, n := range d.FailedOver {
+		failedOver += n
+	}
+	for _, c := range d.Coverage {
+		lost += c.Lost
+	}
+	got := DegradedGolden{
+		CoverageLossPP:     d.EstimatedLossPP,
+		HedgeWinRatePct:    d.HedgeWinRatePct,
+		BreakerTransitions: d.Transitions,
+		HedgesFired:        d.HedgesFired,
+		HedgesWon:          d.HedgesWon,
+		TasksFailedOver:    failedOver,
+		TasksLost:          lost,
+	}
+	var want DegradedGolden
+	if !goldenLoad(t, goldenDegradationPath, got, &want) {
+		return
+	}
+	goldenCompare(t, got, want)
 }

@@ -67,6 +67,14 @@ func compareResults(t *testing.T, labelA, labelB string, a, b *Results) {
 		}
 	}
 
+	// The degradation ledger — breaker windows and transitions, hedge
+	// counts, per-pass coverage, failover tallies — must also be
+	// bit-identical: it is checkpointed state, and any schedule leak here
+	// would desynchronise breakers across a resume.
+	if !reflect.DeepEqual(sc.Health, pc.Health) {
+		t.Errorf("health ledgers differ:\n%s %+v\n%s %+v", labelA, sc.Health, labelB, pc.Health)
+	}
+
 	if !a.PfxCacheProbe.Set.Equal(b.PfxCacheProbe.Set) {
 		t.Error("cache-probing prefix sets differ")
 	}

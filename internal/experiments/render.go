@@ -197,6 +197,9 @@ func (r *Results) RenderAll() string {
 	sb.WriteString(r.RenderReliability().String())
 	sb.WriteByte('\n')
 
+	sb.WriteString(r.RenderDegradation().String())
+	sb.WriteByte('\n')
+
 	sb.WriteString(r.RenderMetrics().String())
 	sb.WriteByte('\n')
 

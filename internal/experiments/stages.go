@@ -224,7 +224,7 @@ func newStagedRun(cfg Config) *stagedRun {
 	// under one fault model or retry policy is stale under another. The
 	// world and baseline chains never touch the faulty transports and
 	// keep their fingerprints.
-	campFP := fmt.Sprintf("%s faults=%s retry=%s", base, cfg.Faults.Fingerprint(), cfg.Retry.Fingerprint())
+	campFP := fmt.Sprintf("%s faults=%s retry=%s health=%s", base, cfg.Faults.Fingerprint(), cfg.Retry.Fingerprint(), cfg.Health.Fingerprint())
 
 	sr.world = pipeline.AddStage(r, StageWorld, base, nil, nil,
 		func(ctx context.Context) (*sim.System, error) {
@@ -238,6 +238,11 @@ func newStagedRun(cfg Config) *stagedRun {
 				fcfg := cfg.Faults
 				fcfg.Seed = cfg.Seed
 				sys.InjectFaults(fcfg, campStart)
+			}
+			if cfg.Health.Enabled() {
+				hcfg := cfg.Health
+				hcfg.Seed = cfg.Seed
+				sys.EnableHealth(hcfg, campStart)
 			}
 			pcfg := sys.ProberConfig()
 			pcfg.Duration = cfg.CampaignDuration

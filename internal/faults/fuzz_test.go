@@ -1,0 +1,50 @@
+package faults
+
+import "testing"
+
+// FuzzParse throws arbitrary spec strings at the -faults grammar. The
+// contract under fuzz: malformed specs return an error (never panic),
+// accepted specs always satisfy Validate, and the canonical rendering is
+// a fixpoint — Parse(c.String()).String() == c.String() — so specs,
+// fingerprints and checkpoint invalidation all agree on one form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"off",
+		"loss=0.02,dup=0.01,trunc=0.005,jitter=50ms",
+		"outage=fra@24h+6h",
+		"brownout=ams-vantage-1@30m+6h*400ms*0.5",
+		"flap=fra@1h+23h*8h*7h",
+		"loss=0.1,outage=@1h+1h,brownout=x@0s+1h*1ms*0,flap=y@0s+2h*1h+30m*30m",
+		"loss=1.5",
+		"loss=NaN",
+		"jitter=-5ms",
+		"outage=fra@1h",
+		"outage=fra@1h+0s",
+		"brownout=x@1h+1h*fast*0.5",
+		"flap=x@1h+1h*0s*0s",
+		"=",
+		",",
+		"loss",
+		"unknown=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := Parse(spec)
+		if err != nil {
+			return // rejected cleanly; nothing more to check
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid config: %v", spec, err)
+		}
+		canon := c.String()
+		c2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if got := c2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q → %q → %q", spec, canon, got)
+		}
+	})
+}

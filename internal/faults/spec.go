@@ -12,10 +12,15 @@ import (
 //	loss=0.02,dup=0.01,trunc=0.005,jitter=50ms,outage=fra@24h+6h
 //
 // Keys: loss/dup/trunc (rates in [0,1]), jitter (duration), and any
-// number of outage=<target>@<start>+<duration> windows (target may be
-// empty to black out every path; start and duration are offsets from the
-// campaign start). Empty and "off" mean no faults. The seed is left zero
-// — harnesses key it to the run seed.
+// number of windowed faults (target may be empty to match every path;
+// start and duration are offsets from the campaign start):
+//
+//	outage=<target>@<start>+<duration>
+//	brownout=<target>@<start>+<duration>*<extra-latency>*<extra-loss>
+//	flap=<target>@<start>+<duration>*<period>*<down>
+//
+// Empty and "off" mean no faults. The seed is left zero — harnesses key
+// it to the run seed.
 func Parse(spec string) (Config, error) {
 	var c Config
 	spec = strings.TrimSpace(spec)
@@ -53,8 +58,20 @@ func Parse(spec string) (Config, error) {
 				return Config{}, err
 			}
 			c.Outages = append(c.Outages, o)
+		case "brownout":
+			b, err := parseBrownout(v)
+			if err != nil {
+				return Config{}, err
+			}
+			c.Brownouts = append(c.Brownouts, b)
+		case "flap":
+			f, err := parseFlap(v)
+			if err != nil {
+				return Config{}, err
+			}
+			c.Flaps = append(c.Flaps, f)
 		default:
-			return Config{}, fmt.Errorf("faults: unknown key %q (want loss, dup, trunc, jitter, outage)", k)
+			return Config{}, fmt.Errorf("faults: unknown key %q (want loss, dup, trunc, jitter, outage, brownout, flap)", k)
 		}
 	}
 	if err := c.Validate(); err != nil {
@@ -82,4 +99,65 @@ func parseOutage(v string) (Outage, error) {
 		return Outage{}, fmt.Errorf("faults: outage duration %q: %v", durStr, err)
 	}
 	return Outage{Target: target, Start: start, Duration: dur}, nil
+}
+
+// parseWindowed splits "<target>@<start>+<duration>*<a>*<b>" into its
+// target, window and two trailing *-separated parameters. The *-split is
+// applied only after the @, so targets may contain '*'.
+func parseWindowed(kind, v, form string) (target string, start, dur time.Duration, a, b string, err error) {
+	target, window, ok := strings.Cut(v, "@")
+	if !ok {
+		return "", 0, 0, "", "", fmt.Errorf("faults: %s %q: want %s", kind, v, form)
+	}
+	parts := strings.Split(window, "*")
+	if len(parts) != 3 {
+		return "", 0, 0, "", "", fmt.Errorf("faults: %s %q: want %s", kind, v, form)
+	}
+	startStr, durStr, ok := strings.Cut(parts[0], "+")
+	if !ok {
+		return "", 0, 0, "", "", fmt.Errorf("faults: %s %q: want %s", kind, v, form)
+	}
+	if start, err = time.ParseDuration(startStr); err != nil {
+		return "", 0, 0, "", "", fmt.Errorf("faults: %s start %q: %v", kind, startStr, err)
+	}
+	if dur, err = time.ParseDuration(durStr); err != nil {
+		return "", 0, 0, "", "", fmt.Errorf("faults: %s duration %q: %v", kind, durStr, err)
+	}
+	return target, start, dur, parts[1], parts[2], nil
+}
+
+// parseBrownout parses "<target>@<start>+<duration>*<extra-latency>*<extra-loss>".
+func parseBrownout(v string) (Brownout, error) {
+	const form = "<target>@<start>+<duration>*<extra-latency>*<extra-loss>"
+	target, start, dur, latStr, lossStr, err := parseWindowed("brownout", v, form)
+	if err != nil {
+		return Brownout{}, err
+	}
+	lat, err := time.ParseDuration(latStr)
+	if err != nil {
+		return Brownout{}, fmt.Errorf("faults: brownout extra latency %q: %v", latStr, err)
+	}
+	loss, err := strconv.ParseFloat(lossStr, 64)
+	if err != nil {
+		return Brownout{}, fmt.Errorf("faults: brownout extra loss %q: %v", lossStr, err)
+	}
+	return Brownout{Target: target, Start: start, Duration: dur, ExtraLatency: lat, ExtraLoss: loss}, nil
+}
+
+// parseFlap parses "<target>@<start>+<duration>*<period>*<down>".
+func parseFlap(v string) (Flap, error) {
+	const form = "<target>@<start>+<duration>*<period>*<down>"
+	target, start, dur, periodStr, downStr, err := parseWindowed("flap", v, form)
+	if err != nil {
+		return Flap{}, err
+	}
+	period, err := time.ParseDuration(periodStr)
+	if err != nil {
+		return Flap{}, fmt.Errorf("faults: flap period %q: %v", periodStr, err)
+	}
+	down, err := time.ParseDuration(downStr)
+	if err != nil {
+		return Flap{}, fmt.Errorf("faults: flap down time %q: %v", downStr, err)
+	}
+	return Flap{Target: target, Start: start, Duration: dur, Period: period, Down: down}, nil
 }

@@ -1,0 +1,54 @@
+package health
+
+import "testing"
+
+// FuzzParse throws arbitrary spec strings at the -health grammar. The
+// contract under fuzz: malformed specs return an error (never panic),
+// accepted specs always satisfy Validate, and parsing the canonical
+// rendering reproduces the config exactly — Parse(c.String()) == c — so
+// specs, fingerprints and checkpoint invalidation all agree on one form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"off",
+		"on",
+		"window=15m,error-rate=0.5,min-samples=8,open-after=4,probation=45m,probation-jitter=0.5,trial=0.2,hedge-after=150ms",
+		"window=10m,error-rate=0.6",
+		"hedge-after=0",
+		"probation=0s,trial=1",
+		"error-rate=2",
+		"error-rate=NaN",
+		"window=0s",
+		"window=-1m",
+		"min-samples=0",
+		"open-after=-3",
+		"trial=1.5",
+		"hedge-after=-1ms",
+		"windows=5m",
+		"window",
+		"=",
+		",",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := Parse(spec)
+		if err != nil {
+			return // rejected cleanly; nothing more to check
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid config: %v", spec, err)
+		}
+		canon := c.String()
+		c2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if c2 != c {
+			t.Fatalf("round-trip changed the config: %q → %+v, reparsed %+v", spec, c, c2)
+		}
+		if got := c2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q → %q → %q", spec, canon, got)
+		}
+	})
+}

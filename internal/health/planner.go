@@ -1,0 +1,86 @@
+package health
+
+import (
+	"time"
+)
+
+// Task is one unit of probing work presented to the failover planner:
+// its primary target plus the ranked recovery options the caller
+// computed from its own geometry (alternate vantages reaching the same
+// PoP, then other PoPs within the task's calibrated service radius).
+type Task struct {
+	// Key is a stable identity for hash-derived trial admission —
+	// include the pass so trial sets rotate between passes.
+	Key string
+	// Primary is the task's own target (its PoP's primary vantage).
+	Primary string
+	// Alternates are same-PoP recovery targets in preference order.
+	Alternates []string
+	// Fallbacks are cross-PoP recovery targets in preference order
+	// (nearest first), already filtered to the task's service radius.
+	Fallbacks []string
+}
+
+// RouteKind says where the planner sent a task.
+type RouteKind uint8
+
+const (
+	// RoutePrimary probes the task's own target (breaker closed).
+	RoutePrimary RouteKind = iota
+	// RouteTrial probes the task's own target as a half-open trial.
+	RouteTrial
+	// RouteAlternate probes Alternates[Index] — same PoP, so recovery
+	// is complete.
+	RouteAlternate
+	// RouteFallback probes Fallbacks[Index] — a different in-radius
+	// PoP, so recovery is partial.
+	RouteFallback
+	// RouteLost drops the task for this pass: no healthy option.
+	RouteLost
+)
+
+// Route is the planner's decision for one task in one pass.
+type Route struct {
+	Kind RouteKind
+	// Index selects the alternate or fallback for those route kinds.
+	Index int
+}
+
+// Planner routes tasks around open breakers. All decisions read the
+// tracker's frozen timeline at a single instant (the pass start), so a
+// plan is a pure function of (timeline, config, tasks) and can be
+// recomputed identically by any worker count or resumed run.
+type Planner struct {
+	Tracker *Tracker
+}
+
+// Route decides where task runs at the planning instant `at`:
+//
+//   - closed primary → probe it;
+//   - half-open primary → a hash-selected Trial fraction of tasks
+//     probes it, the rest fail over as if it were open;
+//   - otherwise the first alternate that is not open, then the first
+//     *closed* fallback (a half-open stranger's trial budget belongs to
+//     its own tasks), and failing everything, the task is lost.
+func (p *Planner) Route(at time.Time, task Task) Route {
+	cfg := p.Tracker.Config()
+	switch p.Tracker.State(task.Primary, at) {
+	case Closed:
+		return Route{Kind: RoutePrimary}
+	case HalfOpen:
+		if cfg.Seed.HashUnit("health/trial/"+task.Key) < cfg.Trial {
+			return Route{Kind: RouteTrial}
+		}
+	}
+	for i, alt := range task.Alternates {
+		if p.Tracker.State(alt, at) != Open {
+			return Route{Kind: RouteAlternate, Index: i}
+		}
+	}
+	for i, fb := range task.Fallbacks {
+		if p.Tracker.State(fb, at) == Closed {
+			return Route{Kind: RouteFallback, Index: i}
+		}
+	}
+	return Route{Kind: RouteLost}
+}

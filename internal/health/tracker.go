@@ -1,0 +1,255 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clientmap/internal/metrics"
+)
+
+// Tracker is the campaign-wide breaker state machine. Concurrent workers
+// Observe outcomes (order-independent window sums) and read States from
+// a frozen timeline; sequential sections Advance the timeline, Restore
+// checkpointed state and Export the ledger.
+type Tracker struct {
+	cfg   Config
+	epoch time.Time
+	reg   *metrics.Registry
+
+	mu      sync.Mutex
+	windows map[string]map[int64]*cell
+
+	tl atomic.Pointer[timeline]
+}
+
+// cell is one (target, window) outcome accumulator.
+type cell struct{ ok, fail atomic.Int64 }
+
+// timeline is an immutable replay of breaker transitions, shared by all
+// workers between two Advance calls.
+type timeline struct {
+	byTarget map[string][]Transition
+	all      []Transition
+}
+
+// NewTracker builds a tracker. epoch anchors the accounting windows (the
+// campaign start); reg (may be nil) receives live breaker-state gauges
+// under "live/health/…" — a prefix deliberately outside the deterministic
+// ledger prefixes, since live gauges depend on when they are scraped.
+func NewTracker(cfg Config, epoch time.Time, reg *metrics.Registry) *Tracker {
+	return &Tracker{cfg: cfg, epoch: epoch, reg: reg, windows: make(map[string]map[int64]*cell)}
+}
+
+// Config returns the tracker's policy.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// windowIndex is the accounting window holding at (floor division, so
+// pre-epoch observations land in negative windows instead of window 0).
+func (t *Tracker) windowIndex(at time.Time) int64 {
+	d := at.Sub(t.epoch)
+	idx := int64(d / t.cfg.Window)
+	if d < 0 && d%t.cfg.Window != 0 {
+		idx--
+	}
+	return idx
+}
+
+// Observe records one exchange outcome for target at the scheduled time
+// at. Safe for concurrent use; the sums are order-independent.
+func (t *Tracker) Observe(target string, at time.Time, ok bool) {
+	if t == nil {
+		return
+	}
+	idx := t.windowIndex(at)
+	t.mu.Lock()
+	m := t.windows[target]
+	if m == nil {
+		m = make(map[int64]*cell)
+		t.windows[target] = m
+	}
+	c := m[idx]
+	if c == nil {
+		c = &cell{}
+		m[idx] = c
+	}
+	t.mu.Unlock()
+	if ok {
+		c.ok.Add(1)
+	} else {
+		c.fail.Add(1)
+	}
+}
+
+// State reports target's breaker state at the sim-clock time at,
+// according to the frozen timeline. Safe for concurrent use.
+func (t *Tracker) State(target string, at time.Time) State {
+	if t == nil {
+		return Closed
+	}
+	tl := t.tl.Load()
+	if tl == nil {
+		return Closed
+	}
+	trs := tl.byTarget[target]
+	// Last transition at or before `at` wins; equal timestamps are kept
+	// in append order, so the later entry (the replay's final word for
+	// that instant) takes effect.
+	state := Closed
+	for _, tr := range trs {
+		if tr.At.After(at) {
+			break
+		}
+		state = tr.To
+	}
+	return state
+}
+
+// Advance recomputes the transition timeline from the window sums, as a
+// pure function of (config, sums, to). Call only from sequential
+// sections — stage and pass boundaries — so every worker in the next
+// parallel region reads the same frozen timeline. Advancing twice to the
+// same point is idempotent.
+func (t *Tracker) Advance(to time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	targets := make([]string, 0, len(t.windows))
+	for target := range t.windows {
+		targets = append(targets, target)
+	}
+	sort.Strings(targets)
+	tl := &timeline{byTarget: make(map[string][]Transition, len(targets))}
+	for _, target := range targets {
+		trs := t.replayTarget(target, t.windows[target], to)
+		if len(trs) > 0 {
+			tl.byTarget[target] = trs
+			tl.all = append(tl.all, trs...)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(tl.all, func(i, j int) bool {
+		if !tl.all[i].At.Equal(tl.all[j].At) {
+			return tl.all[i].At.Before(tl.all[j].At)
+		}
+		return tl.all[i].Target < tl.all[j].Target
+	})
+	t.tl.Store(tl)
+	for _, target := range targets {
+		t.reg.Gauge("live/health/state/" + target).Set(int64(t.State(target, to)))
+	}
+}
+
+// replayTarget walks target's complete windows up to `to` and derives
+// the transition sequence. Caller holds t.mu.
+func (t *Tracker) replayTarget(target string, sums map[int64]*cell, to time.Time) []Transition {
+	if len(sums) == 0 {
+		return nil
+	}
+	lo := int64(0)
+	for idx := range sums {
+		if idx < lo {
+			lo = idx
+		}
+	}
+	var trs []Transition
+	state := Closed
+	var openUntil time.Time
+	openCount := 0
+	winEnd := func(idx int64) time.Time { return t.epoch.Add(time.Duration(idx+1) * t.cfg.Window) }
+	open := func(at time.Time, from State) {
+		openCount++
+		jitter := time.Duration(t.cfg.Seed.HashUnit(fmt.Sprintf("health/probation/%d/%s", openCount, target)) *
+			t.cfg.ProbationJitter * float64(t.cfg.Probation))
+		openUntil = at.Add(t.cfg.Probation + jitter)
+		trs = append(trs, Transition{Target: target, At: at, From: from, To: Open})
+		state = Open
+	}
+	for idx := lo; !winEnd(idx).After(to); idx++ {
+		var ok, fail int64
+		if c := sums[idx]; c != nil {
+			ok, fail = c.ok.Load(), c.fail.Load()
+		}
+		if state == Open && !winEnd(idx).Before(openUntil) {
+			trs = append(trs, Transition{Target: target, At: openUntil, From: Open, To: HalfOpen})
+			state = HalfOpen
+		}
+		switch state {
+		case Closed:
+			n := ok + fail
+			if (n >= int64(t.cfg.MinSamples) && float64(fail) >= t.cfg.ErrorRate*float64(n)) ||
+				(ok == 0 && fail >= int64(t.cfg.OpenAfter)) {
+				open(winEnd(idx), Closed)
+			}
+		case HalfOpen:
+			// Probation-era samples only arrive through trial admission,
+			// so any failure re-opens and a clean window closes.
+			if fail > 0 {
+				open(winEnd(idx), HalfOpen)
+			} else if ok > 0 {
+				trs = append(trs, Transition{Target: target, At: winEnd(idx), From: HalfOpen, To: Closed})
+				state = Closed
+			}
+		}
+	}
+	if state == Open && !openUntil.After(to) {
+		trs = append(trs, Transition{Target: target, At: openUntil, From: Open, To: HalfOpen})
+	}
+	return trs
+}
+
+// Transitions returns the frozen timeline's transitions, sorted by
+// (At, Target).
+func (t *Tracker) Transitions() []Transition {
+	tl := t.tl.Load()
+	if tl == nil {
+		return nil
+	}
+	return append([]Transition(nil), tl.all...)
+}
+
+// ExportWindows snapshots the window sums in canonical (sorted) form for
+// checkpointing. Call from sequential sections only.
+func (t *Tracker) ExportWindows() map[string][]WindowSum {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.windows) == 0 {
+		return nil
+	}
+	out := make(map[string][]WindowSum, len(t.windows))
+	for target, m := range t.windows {
+		sums := make([]WindowSum, 0, len(m))
+		for idx, c := range m {
+			sums = append(sums, WindowSum{Index: idx, OK: c.ok.Load(), Fail: c.fail.Load()})
+		}
+		sort.Slice(sums, func(i, j int) bool { return sums[i].Index < sums[j].Index })
+		out[target] = sums
+	}
+	return out
+}
+
+// Restore replaces the tracker's window sums with a checkpointed
+// export. Stages call it before probing so a resumed campaign replays
+// from exactly the state an uninterrupted run would hold — including
+// discarding observations a re-run setup stage may have re-issued.
+func (t *Tracker) Restore(windows map[string][]WindowSum) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.windows = make(map[string]map[int64]*cell, len(windows))
+	for target, sums := range windows {
+		m := make(map[int64]*cell, len(sums))
+		for _, s := range sums {
+			c := &cell{}
+			c.ok.Store(s.OK)
+			c.fail.Store(s.Fail)
+			m[s.Index] = c
+		}
+		t.windows[target] = m
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"clientmap/internal/faults"
 	"clientmap/internal/geo"
 	"clientmap/internal/gpdns"
+	"clientmap/internal/health"
 	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/randx"
@@ -72,6 +73,7 @@ type System struct {
 	faultCfg      *faults.Config
 	faultEpoch    time.Time
 	faultCounters *faults.Counters
+	health        *health.Tracker
 	metrics       *metrics.Registry
 }
 
@@ -163,6 +165,21 @@ func (s *System) InjectFaults(cfg faults.Config, epoch time.Time) *faults.Counte
 	return s.faultCounters
 }
 
+// EnableHealth builds the degradation layer's circuit-breaker tracker and
+// arranges for probers built by this system to consult it: every
+// measurement transport is wrapped in a breaker (outermost, so it observes
+// outcomes after fault injection and instrumentation), and the prober
+// gains hedging and failover. epoch anchors the breaker's accounting
+// windows (the campaign start). Returns nil — and changes nothing — when
+// the policy is off. Call once, before building probers.
+func (s *System) EnableHealth(cfg health.Config, epoch time.Time) *health.Tracker {
+	if !cfg.Enabled() {
+		return nil
+	}
+	s.health = health.NewTracker(cfg, epoch, s.metrics)
+	return s.health
+}
+
 // PoPCoords returns the coordinates of every cataloged PoP by name — the
 // public knowledge the prober uses for scope assignment.
 func (s *System) PoPCoords() map[string]geo.Coord {
@@ -210,13 +227,21 @@ func (s *System) Prober(cfg cacheprobe.Config) *cacheprobe.Prober {
 		auth.Exchanger = faults.New(*s.faultCfg, "auth", s.faultEpoch, s.Clock, s.faultCounters, auth.Exchanger)
 	}
 	auth.Exchanger = dnsnet.Instrument(s.metrics, "auth", auth.Exchanger)
+	auth.Exchanger = health.Wrap(s.health, "auth", s.Clock, auth.Exchanger)
 	vantages := s.vantages
-	if s.metrics != nil {
+	if s.metrics != nil || s.health != nil {
 		vantages = make([]cacheprobe.Vantage, len(s.vantages))
 		copy(vantages, s.vantages)
 		for i := range vantages {
-			vantages[i].Exchanger = dnsnet.Instrument(s.metrics, "vantage", vantages[i].Exchanger)
+			if s.metrics != nil {
+				vantages[i].Exchanger = dnsnet.Instrument(s.metrics, "vantage", vantages[i].Exchanger)
+			}
+			// Breaker outermost: it observes exactly what the prober sees.
+			vantages[i].Exchanger = health.Wrap(s.health, vantages[i].Name, s.Clock, vantages[i].Exchanger)
 		}
+	}
+	if cfg.Health == nil {
+		cfg.Health = s.health
 	}
 	return cacheprobe.NewProber(cfg, vantages, auth)
 }

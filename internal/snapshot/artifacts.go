@@ -10,6 +10,7 @@ import (
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/core/datasets"
 	"clientmap/internal/core/dnslogs"
+	"clientmap/internal/health"
 	"clientmap/internal/netx"
 	"clientmap/internal/world"
 )
@@ -30,7 +31,9 @@ const (
 const (
 	// VersionCampaign 2: added the FaultStats reliability ledger.
 	// VersionCampaign 3: added the metrics instrumentation ledger.
-	VersionCampaign uint16 = 3
+	// VersionCampaign 4: added brownout/flap drops and the health ledger
+	// (breaker windows + transitions, hedges, coverage, failovers).
+	VersionCampaign uint16 = 4
 	// VersionDNSLogs 2: added the OpenRetries counter.
 	VersionDNSLogs       uint16 = 2
 	VersionCDN           uint16 = 1
@@ -204,6 +207,8 @@ func EncodeCampaign(w *Writer, c *cacheprobe.Campaign) {
 	w.Varint(c.Faults.OutageDrops)
 	w.Varint(c.Faults.Truncations)
 	w.Varint(c.Faults.Duplicates)
+	w.Varint(c.Faults.BrownoutDrops)
+	w.Varint(c.Faults.FlapDrops)
 	w.Varint(c.Faults.RetriesSpent)
 	w.Varint(c.Faults.RetriesRecovered)
 	w.Varint(c.Faults.BudgetExhausted)
@@ -212,6 +217,128 @@ func EncodeCampaign(w *Writer, c *cacheprobe.Campaign) {
 	for _, k := range sortedStringKeys(c.Metrics) {
 		w.String(k)
 		w.Varint(c.Metrics[k])
+	}
+
+	encodeHealthLedger(w, &c.Health)
+}
+
+// encodeHealthLedger appends the campaign's degradation-layer state: the
+// breaker's replayable windows, the transition timeline, and the hedge /
+// coverage accounting. Map iteration is canonicalised by sorted keys.
+func encodeHealthLedger(w *Writer, l *health.Ledger) {
+	w.Int(len(l.Windows))
+	for _, target := range sortedStringKeys(l.Windows) {
+		w.String(target)
+		sums := l.Windows[target]
+		w.Int(len(sums))
+		for _, s := range sums {
+			w.Varint(s.Index)
+			w.Varint(s.OK)
+			w.Varint(s.Fail)
+		}
+	}
+	w.Int(len(l.Transitions))
+	for _, tr := range l.Transitions {
+		w.String(tr.Target)
+		w.Time(tr.At)
+		w.Uvarint(uint64(tr.From))
+		w.Uvarint(uint64(tr.To))
+	}
+	w.Varint(l.HedgesFired)
+	w.Varint(l.HedgesWon)
+	w.Int(len(l.Coverage))
+	for _, c := range l.Coverage {
+		w.Int(c.Pass)
+		w.Varint(c.Assigned)
+		w.Varint(c.Primary)
+		w.Varint(c.Trial)
+		w.Varint(c.Alternate)
+		w.Varint(c.Fallback)
+		w.Varint(c.Lost)
+	}
+	w.Int(len(l.FailedOver))
+	for _, pop := range sortedStringKeys(l.FailedOver) {
+		w.String(pop)
+		w.Varint(l.FailedOver[pop])
+	}
+	w.Int(len(l.LostTasks))
+	for _, pop := range sortedStringKeys(l.LostTasks) {
+		w.String(pop)
+		tasks := l.LostTasks[pop]
+		keys := make([]int, 0, len(tasks))
+		for ti := range tasks {
+			keys = append(keys, ti)
+		}
+		sort.Ints(keys)
+		w.Int(len(keys))
+		for _, ti := range keys {
+			w.Int(ti)
+			w.Int(tasks[ti])
+		}
+	}
+}
+
+// decodeHealthLedger reads a ledger written by encodeHealthLedger. Empty
+// collections decode as nil, matching an in-memory campaign that never
+// touched them.
+func decodeHealthLedger(r *Reader, l *health.Ledger) {
+	if n := r.Int(); n > 0 {
+		l.Windows = make(map[string][]health.WindowSum, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			target := r.String()
+			sums := make([]health.WindowSum, r.Int())
+			for j := range sums {
+				sums[j] = health.WindowSum{Index: r.Varint(), OK: r.Varint(), Fail: r.Varint()}
+			}
+			l.Windows[target] = sums
+		}
+	}
+	if n := r.Int(); n > 0 {
+		l.Transitions = make([]health.Transition, n)
+		for i := range l.Transitions {
+			l.Transitions[i] = health.Transition{
+				Target: r.String(),
+				At:     r.Time(),
+				From:   health.State(r.Uvarint()),
+				To:     health.State(r.Uvarint()),
+			}
+		}
+	}
+	l.HedgesFired = r.Varint()
+	l.HedgesWon = r.Varint()
+	if n := r.Int(); n > 0 {
+		l.Coverage = make([]health.PassCoverage, n)
+		for i := range l.Coverage {
+			l.Coverage[i] = health.PassCoverage{
+				Pass:      r.Int(),
+				Assigned:  r.Varint(),
+				Primary:   r.Varint(),
+				Trial:     r.Varint(),
+				Alternate: r.Varint(),
+				Fallback:  r.Varint(),
+				Lost:      r.Varint(),
+			}
+		}
+	}
+	if n := r.Int(); n > 0 {
+		l.FailedOver = make(map[string]int64, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			pop := r.String()
+			l.FailedOver[pop] = r.Varint()
+		}
+	}
+	if n := r.Int(); n > 0 {
+		l.LostTasks = make(map[string]map[int]int, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			pop := r.String()
+			m := r.Int()
+			tasks := make(map[int]int, m)
+			for j := 0; j < m; j++ {
+				ti := r.Int()
+				tasks[ti] = r.Int()
+			}
+			l.LostTasks[pop] = tasks
+		}
 	}
 }
 
@@ -307,6 +434,8 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 	c.Faults.OutageDrops = r.Varint()
 	c.Faults.Truncations = r.Varint()
 	c.Faults.Duplicates = r.Varint()
+	c.Faults.BrownoutDrops = r.Varint()
+	c.Faults.FlapDrops = r.Varint()
 	c.Faults.RetriesSpent = r.Varint()
 	c.Faults.RetriesRecovered = r.Varint()
 	c.Faults.BudgetExhausted = r.Varint()
@@ -315,6 +444,8 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 		k := r.String()
 		c.Metrics[k] = r.Varint()
 	}
+
+	decodeHealthLedger(r, &c.Health)
 	return c, r.Err()
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check cover fuzz-smoke golden-update
+.PHONY: build test race vet bench bench-smoke check cover fuzz-smoke golden-update
 
 # Packages whose coverage is gated in CI: the wire/transport layer, the
 # measurement cores, the stage runner, the metrics registry and the
@@ -31,6 +31,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# bench-smoke runs every benchmark exactly once: cheap enough for CI, and
+# it keeps the benchmarks (and the alloc-regression gates that live next
+# to them) compiling and passing as the code moves.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # cover enforces a per-package statement-coverage floor on the gated
 # packages. Per-package (not aggregate) so a well-tested neighbour can't

@@ -9,7 +9,7 @@ package authdns
 
 import (
 	"context"
-	"fmt"
+	"strconv"
 	"sync"
 
 	"clientmap/internal/dnsnet"
@@ -26,6 +26,9 @@ type Server struct {
 	seed  randx.Seed
 	zones map[string]domains.Domain
 	addrs map[string]netx.Addr
+	// aboxes holds each domain's A answer pre-boxed as an RData, so the
+	// per-query answer append does not re-box the interface value.
+	aboxes map[string]dnswire.RData
 
 	mu sync.Mutex
 	// queryLog, when enabled, records observed ECS source prefixes per
@@ -41,6 +44,7 @@ func New(seed randx.Seed, catalog []domains.Domain) *Server {
 		seed:    seed,
 		zones:   make(map[string]domains.Domain, len(catalog)),
 		addrs:   make(map[string]netx.Addr, len(catalog)),
+		aboxes:  make(map[string]dnswire.RData, len(catalog)),
 		ecsSeen: make(map[string]map[netx.Prefix]int),
 	}
 	for i, d := range catalog {
@@ -48,7 +52,9 @@ func New(seed randx.Seed, catalog []domains.Domain) *Server {
 		s.zones[name] = d
 		// Service addresses live in a reserved block far from the world
 		// allocator's space.
-		s.addrs[name] = netx.AddrFrom4(198, 18, byte(i/250), byte(1+i%250))
+		addr := netx.AddrFrom4(198, 18, byte(i/250), byte(1+i%250))
+		s.addrs[name] = addr
+		s.aboxes[name] = dnswire.A{Addr: addr}
 	}
 	return s
 }
@@ -89,7 +95,16 @@ func (s *Server) NaturalScope(domain string, src netx.Prefix) netx.Prefix {
 func NaturalScope(seed randx.Seed, d domains.Domain, src netx.Prefix) netx.Prefix {
 	band := d.Scope.MaxBits - d.Scope.MinBits + 1
 	block := netx.PrefixFrom(src.Addr(), d.Scope.MinBits)
-	h := seed.Hash64(fmt.Sprintf("authdns/scope/%s/%s", d.Name, block))
+	// Byte-built key, identical to the former
+	// fmt.Sprintf("authdns/scope/%s/%s", d.Name, block) — this function
+	// runs once per probe on the lazy-fill path, so the formatting
+	// allocation was hot.
+	var kb [80]byte
+	key := append(kb[:0], "authdns/scope/"...)
+	key = append(key, d.Name...)
+	key = append(key, '/')
+	key = block.AppendTo(key)
+	h := seed.Hash64B(key)
 	bits := d.Scope.MinBits + int(h%uint64(band))
 	if bits > src.Bits() {
 		// Never answer more specifically than the /24-or-coarser question:
@@ -114,12 +129,22 @@ func (s *Server) flippedScope(d domains.Domain, natural, src netx.Prefix, qid ui
 	// Variable fields (qid, src) lead the key: FNV-1a mixes early bytes
 	// through every later round, so the constant suffix gives the short
 	// numeric differences full avalanche into HashUnit's high bits.
-	key := fmt.Sprintf("authdns/flip/%d/%s/%s", qid, src, d.Name)
-	if s.seed.HashUnit(key) >= d.Scope.FlipProb {
+	// Byte-built, identical to the former
+	// fmt.Sprintf("authdns/flip/%d/%s/%s", qid, src, d.Name); suffix draws
+	// truncate back to the base key.
+	var kb [112]byte
+	key := append(kb[:0], "authdns/flip/"...)
+	key = strconv.AppendUint(key, uint64(qid), 10)
+	key = append(key, '/')
+	key = src.AppendTo(key)
+	key = append(key, '/')
+	key = append(key, d.Name...)
+	base := len(key)
+	if s.seed.HashUnitB(key) >= d.Scope.FlipProb {
 		return natural
 	}
 	// Mostly ±1..2, occasionally further.
-	r := s.seed.HashUnit(key + "/mag")
+	r := s.seed.HashUnitB(append(key[:base], "/mag"...))
 	var delta int
 	switch {
 	case r < 0.5:
@@ -127,11 +152,11 @@ func (s *Server) flippedScope(d domains.Domain, natural, src netx.Prefix, qid ui
 	case r < 0.8:
 		delta = 2
 	case r < 0.93:
-		delta = 3 + int(s.seed.Hash64(key+"/m2")%2)
+		delta = 3 + int(s.seed.Hash64B(append(key[:base], "/m2"...))%2)
 	default:
-		delta = 5 + int(s.seed.Hash64(key+"/m3")%4)
+		delta = 5 + int(s.seed.Hash64B(append(key[:base], "/m3"...))%4)
 	}
-	if s.seed.HashUnit(key+"/sign") < 0.5 {
+	if s.seed.HashUnitB(append(key[:base], "/sign"...)) < 0.5 {
 		delta = -delta
 	}
 	bits := natural.Bits() + delta
@@ -149,9 +174,10 @@ func (s *Server) flippedScope(d domains.Domain, natural, src netx.Prefix, qid ui
 	return netx.PrefixFrom(natural.Addr(), bits)
 }
 
-// ServeDNS implements dnsnet.Handler.
+// ServeDNS implements dnsnet.Handler. Responses are pooled messages; the
+// consumer (the recursive's miss path, the pre-scan) releases them.
 func (s *Server) ServeDNS(_ context.Context, _ netx.Addr, q *dnswire.Message) *dnswire.Message {
-	r := q.Reply()
+	r := q.ReplyInto(dnswire.AcquireMessage())
 	r.Authoritative = true
 	qq := q.Question()
 	d, ok := s.zones[qq.Name]
@@ -179,12 +205,12 @@ func (s *Server) ServeDNS(_ context.Context, _ netx.Addr, q *dnswire.Message) *d
 		s.mu.Unlock()
 	}
 
-	r.Answers = []dnswire.RR{{
+	r.Answers = append(r.Answers, dnswire.RR{
 		Name:  qq.Name,
 		Class: dnswire.ClassINET,
 		TTL:   uint32(d.TTL.Seconds()),
-		Data:  dnswire.A{Addr: s.addrs[qq.Name]},
-	}}
+		Data:  s.aboxes[qq.Name],
+	})
 
 	if ecs != nil && r.EDNS != nil && r.EDNS.ECS != nil {
 		if d.SupportsECS {

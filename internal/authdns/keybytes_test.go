@@ -1,0 +1,43 @@
+package authdns
+
+import (
+	"fmt"
+	"testing"
+
+	"clientmap/internal/domains"
+	"clientmap/internal/netx"
+	"clientmap/internal/randx"
+)
+
+// TestNaturalScopeMatchesStringHash re-derives NaturalScope through the
+// string-formatted hash key the function used before the zero-alloc
+// rewrite. The byte-built key must hash identically or every cached scope
+// in the simulated resolver moves, which would invalidate the golden
+// campaign corpora.
+func TestNaturalScopeMatchesStringHash(t *testing.T) {
+	seed := randx.Seed(2021)
+	srcs := []netx.Prefix{
+		netx.MustParsePrefix("10.0.0.0/24"),
+		netx.MustParsePrefix("192.0.2.0/24"),
+		netx.MustParsePrefix("198.51.100.0/21"),
+	}
+	for _, d := range domains.Catalog() {
+		if !d.SupportsECS {
+			continue
+		}
+		for _, src := range srcs {
+			band := d.Scope.MaxBits - d.Scope.MinBits + 1
+			block := netx.PrefixFrom(src.Addr(), d.Scope.MinBits)
+			h := seed.Hash64(fmt.Sprintf("authdns/scope/%s/%s", d.Name, block))
+			bits := d.Scope.MinBits + int(h%uint64(band))
+			if bits > src.Bits() {
+				bits = src.Bits()
+			}
+			want := netx.PrefixFrom(src.Addr(), bits)
+			if got := NaturalScope(seed, d, src); got != want {
+				t.Errorf("%s src %s: NaturalScope = %s, string-key derivation = %s",
+					d.Name, src, got, want)
+			}
+		}
+	}
+}

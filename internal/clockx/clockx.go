@@ -79,6 +79,29 @@ func (s *Sim) Set(t time.Time) {
 // ctxKey carries a scheduled timestamp through a context.
 type ctxKey struct{}
 
+// TimeCarrier is a context carrying a scheduled timestamp in a plain
+// struct field. Reading it through TimeFrom is a type assertion — no
+// interface boxing of the time.Time, no linear Value chain walk — which
+// is what keeps the per-probe schedule stamp off the campaign's
+// allocation profile. The probe engine reuses one carrier per task batch
+// by re-assigning T between probes; that is safe because simulated
+// servers read the timestamp synchronously during the exchange and never
+// retain the context.
+type TimeCarrier struct {
+	context.Context
+	T time.Time
+}
+
+// Value implements context.Context: ctxKey resolves to the carried
+// timestamp (for readers that only have a wrapped context), everything
+// else delegates to the parent.
+func (c *TimeCarrier) Value(key any) any {
+	if _, ok := key.(ctxKey); ok {
+		return c.T
+	}
+	return c.Context.Value(key)
+}
+
 // WithTime returns a context carrying t as the query's scheduled send
 // time. The parallel probing engine computes every probe's timestamp up
 // front and attaches it here instead of mutating a shared Sim clock, so
@@ -86,11 +109,14 @@ type ctxKey struct{}
 // server sees the probe at the moment it was scheduled for, regardless of
 // the order workers actually issue probes in.
 func WithTime(ctx context.Context, t time.Time) context.Context {
-	return context.WithValue(ctx, ctxKey{}, t)
+	return &TimeCarrier{Context: ctx, T: t}
 }
 
 // TimeFrom reports the scheduled timestamp carried by ctx, if any.
 func TimeFrom(ctx context.Context) (time.Time, bool) {
+	if c, ok := ctx.(*TimeCarrier); ok {
+		return c.T, true
+	}
 	t, ok := ctx.Value(ctxKey{}).(time.Time)
 	return t, ok
 }

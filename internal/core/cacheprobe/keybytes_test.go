@@ -1,0 +1,76 @@
+package cacheprobe
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"clientmap/internal/netx"
+	"clientmap/internal/randx"
+)
+
+// TestTxidBaseMatchesStringHash pins the transaction-id derivation against
+// the string-concatenation hash it replaced. Transaction ids select cache
+// pools at the simulated resolver front end, so any drift here moves every
+// probe's pool assignment and breaks the golden corpora.
+func TestTxidBaseMatchesStringHash(t *testing.T) {
+	p := &Prober{cfg: Config{Seed: randx.Seed(2021)}}
+	keys := []string{
+		"probe/0/fra/en.wikipedia.org/10.0.0.0/16",
+		"calib/ams/3/www.google.com",
+		"discover/vantage-a",
+	}
+	for _, k := range keys {
+		want := uint16(p.cfg.Seed.Hash64("cacheprobe/txid/" + k))
+		if got := p.txidBase([]byte(k)); got != want {
+			t.Errorf("txidBase(%q) = %d, string-hash derivation = %d", k, got, want)
+		}
+	}
+}
+
+// TestTxidAtAvoidsZero: attempt offsets never produce the reserved id 0.
+func TestTxidAtAvoidsZero(t *testing.T) {
+	if got := txidAt(0xFFFF, 1); got != 1 {
+		t.Errorf("txidAt(0xFFFF, 1) = %d, want 1 (wraps to 0, clamps to 1)", got)
+	}
+	if got := txidAt(7, 3); got != 10 {
+		t.Errorf("txidAt(7, 3) = %d, want 10", got)
+	}
+}
+
+// TestProbeKeyBytesMatchSprintf pins the probe-task content key layout —
+// "probe/<pass>/<pop>/<domain>/<scope>" with the redundancy attempt
+// appended — against the fmt.Sprintf renderings the hot loop replaced.
+func TestProbeKeyBytesMatchSprintf(t *testing.T) {
+	const (
+		pass   = 3
+		pop    = "fra"
+		domain = "en.wikipedia.org"
+	)
+	scope := netx.MustParsePrefix("198.51.100.0/22")
+
+	// Mirrors ProbePass's per-chunk buffer: prefix written once, the
+	// per-task tail re-appended after truncating to the prefix length.
+	var keyBuf [192]byte
+	kb := append(keyBuf[:0], "probe/"...)
+	kb = strconv.AppendInt(kb, pass, 10)
+	kb = append(kb, '/')
+	kb = append(kb, pop...)
+	kb = append(kb, '/')
+	popLen := len(kb)
+	key := append(kb[:popLen], domain...)
+	key = append(key, '/')
+	key = scope.AppendTo(key)
+	kLen := len(key)
+
+	want := fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, domain, scope)
+	if string(key) != want {
+		t.Errorf("task key = %q, want %q", key, want)
+	}
+	for a := 0; a < 3; a++ {
+		ak := strconv.AppendInt(append(key[:kLen], '/'), int64(a), 10)
+		if got, want := string(ak), fmt.Sprintf("%s/%d", want, a); got != want {
+			t.Errorf("attempt key = %q, want %q", got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -70,14 +71,29 @@ func (p *Prober) popFanout(pops int) int {
 	return pops
 }
 
-// txid derives the DNS transaction id for a probe from its content key and
-// redundancy attempt. A shared counter would hand out ids in arrival order
-// — racy under concurrency, and enough to change which cache pool a query
-// reaches. Hashing the content keeps ids deterministic for any worker
-// count; consecutive attempt numbers keep a redundancy burst spread across
-// a site's pools, which is the reason redundant copies exist (§3.1.1).
-func (p *Prober) txid(key string, attempt int) uint16 {
-	id := uint16(p.cfg.Seed.Hash64("cacheprobe/txid/"+key)) + uint16(attempt)
+// txidBase derives the base DNS transaction id for a probe from its
+// content key; attempt a sends with txidAt(base, a). A shared counter
+// would hand out ids in arrival order — racy under concurrency, and
+// enough to change which cache pool a query reaches. Hashing the content
+// keeps ids deterministic for any worker count; consecutive attempt
+// numbers keep a redundancy burst spread across a site's pools, which is
+// the reason redundant copies exist (§3.1.1).
+//
+// The hash domain "cacheprobe/txid/<key>" is byte-built in stack scratch
+// and must equal the former string concatenation — the ids select cache
+// pools, so any drift would move every probe's pool assignment.
+func (p *Prober) txidBase(key []byte) uint16 {
+	var kb [208]byte
+	k := append(kb[:0], "cacheprobe/txid/"...)
+	k = append(k, key...)
+	return uint16(p.cfg.Seed.Hash64B(k))
+}
+
+// txidAt offsets the base id by the redundancy attempt, avoiding the
+// reserved id 0. The base hash is computed once per task: every attempt
+// of a task hashes the same content key.
+func txidAt(base uint16, attempt int) uint16 {
+	id := base + uint16(attempt)
 	if id == 0 {
 		id = 1
 	}
@@ -105,25 +121,31 @@ func (p *Prober) scheduleCtx(ctx context.Context, at time.Time) context.Context 
 	return ctx
 }
 
-// snoop sends one non-recursive ECS probe and reports (hit, response
-// scope). Timeouts and errors count as misses, as in live probing — but
-// with a retry policy configured, each failed try is retried (within the
-// task's budget allowance in acct) before the miss is accepted. key is
-// the probe's content key plus redundancy attempt: the hash domain for
-// backoff jitter and per-try fault decisions.
-func (p *Prober) snoop(ctx context.Context, v *Vantage, id uint16, domain string, scope netx.Prefix, key string, acct *retryAccount) (bool, netx.Prefix) {
-	q := dnswire.NewQuery(id, domain, dnswire.TypeA).WithECS(scope)
+// snoop sends one non-recursive ECS probe on the caller's reused scratch
+// query q and reports (hit, response scope). Timeouts and errors count as
+// misses, as in live probing — but with a retry policy configured, each
+// failed try is retried (within the task's budget allowance in acct)
+// before the miss is accepted. key is the probe's content key plus
+// redundancy attempt: the hash domain for backoff jitter and per-try
+// fault decisions. The response is a pooled message and snoop is its
+// final consumer: it extracts the verdict and releases it.
+func (p *Prober) snoop(ctx context.Context, v *Vantage, q *dnswire.Message, id uint16, domain string, scope netx.Prefix, key []byte, acct *retryAccount) (bool, netx.Prefix) {
+	q.SetQuery(id, domain, dnswire.TypeA).WithECS(scope)
 	q.RecursionDesired = false
 	resp, err := p.exchange(ctx, v.Exchanger, v.Server, q, key, acct)
-	if err != nil || resp == nil || len(resp.Answers) == 0 {
+	if err != nil || resp == nil {
 		return false, netx.Prefix{}
 	}
-	if resp.EDNS == nil || resp.EDNS.ECS == nil || resp.EDNS.ECS.ScopePrefixLen == 0 {
-		// A return scope of 0 means the entry covers the whole address
-		// space; it says nothing about this prefix (§3.1.1).
-		return false, netx.Prefix{}
+	// A return scope of 0 means the entry covers the whole address space;
+	// it says nothing about this prefix (§3.1.1).
+	hit := len(resp.Answers) > 0 &&
+		resp.EDNS != nil && resp.EDNS.ECS != nil && resp.EDNS.ECS.ScopePrefixLen != 0
+	var out netx.Prefix
+	if hit {
+		out = netx.PrefixFrom(scope.Addr(), int(resp.EDNS.ECS.ScopePrefixLen))
 	}
-	return true, netx.PrefixFrom(scope.Addr(), int(resp.EDNS.ECS.ScopePrefixLen))
+	dnswire.ReleaseMessage(resp)
+	return hit, out
 }
 
 // DiscoverPoPs maps each vantage to the PoP its anycast route reaches and
@@ -132,21 +154,30 @@ func (p *Prober) snoop(ctx context.Context, v *Vantage, id uint16, domain string
 func (p *Prober) DiscoverPoPs(ctx context.Context) (map[string]*Vantage, error) {
 	out := make(map[string]*Vantage)
 	p.alts = make(map[string][]*Vantage)
+	q := dnswire.AcquireMessage()
+	defer dnswire.ReleaseMessage(q)
+	var kb [64]byte
 	for i := range p.vantages {
 		v := &p.vantages[i]
-		q := dnswire.NewQuery(p.txid("discover/"+v.Name, 0), "o-o.myaddr.l.google.com", dnswire.TypeTXT)
+		key := append(kb[:0], "discover/"...)
+		key = append(key, v.Name...)
+		q.SetQuery(txidAt(p.txidBase(key), 0), "o-o.myaddr.l.google.com", dnswire.TypeTXT)
 		// Discovery is one query per vantage: a single drop would lose a
 		// whole PoP for the campaign, so the retry policy applies here
 		// too (unbudgeted — the stage is a handful of queries).
-		resp, err := p.exchange(ctx, v.Exchanger, v.Server, q, "discover/"+v.Name, nil)
+		resp, err := p.exchange(ctx, v.Exchanger, v.Server, q, key, nil)
 		if err != nil || resp == nil || len(resp.Answers) == 0 {
+			dnswire.ReleaseMessage(resp)
 			continue // vantage cannot reach the service
 		}
-		txt, ok := resp.Answers[0].Data.(dnswire.TXT)
-		if !ok || len(txt.Strings) == 0 {
+		var pop string
+		if txt, ok := resp.Answers[0].Data.(dnswire.TXT); ok && len(txt.Strings) > 0 {
+			pop = txt.Strings[0]
+		}
+		dnswire.ReleaseMessage(resp)
+		if pop == "" {
 			continue
 		}
-		pop := txt.Strings[0]
 		if _, exists := out[pop]; !exists {
 			out[pop] = v
 		} else {
@@ -205,21 +236,34 @@ func (p *Prober) PreScan(ctx context.Context, camp *Campaign) error {
 		acct := &accounts[i]
 		acct.remaining = -1
 		acct.delays = prescanDelay
+		// One scratch query per span, and a key buffer pre-filled with the
+		// span's constant "prescan/<domain>/" prefix; the walk re-stamps
+		// both per /24. Key bytes are identical to the former
+		// fmt.Sprintf("prescan/%s/%s", domain, s24).
+		q := dnswire.AcquireMessage()
+		defer dnswire.ReleaseMessage(q)
+		var kb [96]byte
+		pfx := append(kb[:0], "prescan/"...)
+		pfx = append(pfx, sp.domain...)
+		pfx = append(pfx, '/')
+		base := len(pfx)
 		var scopes []netx.Prefix
 		sent := 0
 		cur := uint32(sp.block.FirstSlash24())
 		end := cur + uint32(sp.block.NumSlash24s())
 		for cur < end {
 			s24 := netx.Slash24(cur)
-			key := fmt.Sprintf("prescan/%s/%s", sp.domain, s24)
-			q := dnswire.NewQuery(p.txid(key, 0), sp.domain, dnswire.TypeA).WithECS(s24.Prefix())
+			key := s24.AppendTo(pfx[:base])
+			q.SetQuery(txidAt(p.txidBase(key), 0), sp.domain, dnswire.TypeA).WithECS(s24.Prefix())
 			resp, err := p.exchange(ctx, p.auth.Exchanger, p.auth.Server, q, key, acct)
 			sent++
 			if err != nil || resp == nil || resp.EDNS == nil || resp.EDNS.ECS == nil {
+				dnswire.ReleaseMessage(resp)
 				cur++
 				continue
 			}
 			bits := int(resp.EDNS.ECS.ScopePrefixLen)
+			dnswire.ReleaseMessage(resp)
 			if bits == 0 || bits > 24 {
 				bits = 24
 			}
@@ -283,11 +327,15 @@ func (p *Prober) calibrationSample() []netx.Slash24 {
 	if len(eligible) <= p.cfg.CalibrationSamples {
 		return eligible
 	}
-	// Deterministic thinning.
+	// Deterministic thinning. The hash key is byte-built, identical to
+	// the former "cacheprobe/calib/" + s.String() concatenation.
 	keep := float64(p.cfg.CalibrationSamples) / float64(len(eligible))
 	out := eligible[:0]
+	var kb [48]byte
+	pfx := append(kb[:0], "cacheprobe/calib/"...)
+	base := len(pfx)
 	for _, s := range eligible {
-		if p.cfg.Seed.HashUnit("cacheprobe/calib/"+s.String()) < keep {
+		if p.cfg.Seed.HashUnitB(s.AppendTo(pfx[:base])) < keep {
 			out = append(out, s)
 		}
 	}
@@ -325,6 +373,7 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 		v := pops[pop]
 		cal := &PoPCalibration{PoP: pop, Vantage: v.Name}
 		delays := p.m.popDelay(pop)
+		allowScope := "calib/" + pop
 		res := make([]calResult, len(sample))
 		par.ForEach(len(sample), p.workers(), func(si int) {
 			s := sample[si]
@@ -333,17 +382,31 @@ func (p *Prober) Calibrate(ctx context.Context, pops map[string]*Vantage, camp *
 				return
 			}
 			var r calResult
-			r.retry.remaining = p.retryAllowance("calib/"+pop, si, len(sample))
+			r.retry.remaining = p.retryAllowance(allowScope, si, len(sample))
 			r.retry.delays = delays
+			// Content keys are byte-built in stack scratch, identical to
+			// the former fmt.Sprintf("calib/%s/%s/%s", pop, s, d.Name)
+			// with "/<attempt>" appended for the per-try hash domain.
+			q := dnswire.AcquireMessage()
+			defer dnswire.ReleaseMessage(q)
+			var kb [128]byte
+			key := append(kb[:0], "calib/"...)
+			key = append(key, pop...)
+			key = append(key, '/')
+			key = s.AppendTo(key)
+			key = append(key, '/')
+			sBase := len(key)
 			hit := false
 			for _, d := range p.cfg.Domains {
 				if d.Microsoft {
 					continue // calibration uses the Alexa picks only
 				}
+				key = append(key[:sBase], d.Name...)
+				kLen := len(key)
+				base := p.txidBase(key)
 				for a := 0; a < p.cfg.Redundancy && !hit; a++ {
-					key := fmt.Sprintf("calib/%s/%s/%s", pop, s, d.Name)
-					hit, _ = p.snoop(sctx, v, p.txid(key, a), d.Name, s.Prefix(),
-						fmt.Sprintf("%s/%d", key, a), &r.retry)
+					ak := strconv.AppendInt(append(key[:kLen], '/'), int64(a), 10)
+					hit, _ = p.snoop(sctx, v, q, txidAt(base, a), d.Name, s.Prefix(), ak, &r.retry)
 					r.probes++
 				}
 				if hit {
@@ -426,6 +489,12 @@ func (p *Prober) scopeAssigned(scope netx.Prefix, popCoord geo.Coord, radiusKm f
 	}
 	return false
 }
+
+// probeChunk is the batched-dispatch grain of the probe loop: workers
+// claim this many consecutive tasks per synchronization point, and the
+// per-chunk scratch (pooled query message, key buffers, time carrier)
+// amortizes across the whole chunk.
+const probeChunk = 256
 
 // probeTask is one (domain, scope) probe in a PoP's assignment.
 type probeTask struct {
@@ -535,45 +604,82 @@ func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *A
 	p.healthSync(camp, passStart)
 	plans := p.planPass(pops, asg, camp, pass, passStart)
 	passProbes, passHits := p.m.passProbes(pass), p.m.passHits(pass)
+	_, isSim := p.cfg.Clock.(*clockx.Sim)
 	results := make([][]probeResult, len(popNames))
 	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
 		pop := popNames[pi]
 		v := pops[pop]
 		tasks := asg.tasks[pi]
 		delays := p.m.popDelay(pop)
+		// allowScope is the same for every task of the pass; hoisted out
+		// of the loop so the per-task allowance draw formats nothing.
+		allowScope := "probe/" + strconv.Itoa(pass) + "/" + pop
 		res := make([]probeResult, len(tasks))
-		par.ForEach(len(tasks), p.workers(), func(ti int) {
-			tk := tasks[ti]
-			pv := v
+		par.ForEachChunked(len(tasks), p.workers(), probeChunk, func(lo, hi int) {
+			// Per-chunk scratch, reused across the chunk's tasks: one
+			// pooled query message, a content-key buffer pre-filled with
+			// the constant "probe/<pass>/<pop>/" prefix, and (in
+			// simulation) one time-carrier context re-stamped per task.
+			// Key bytes are identical to the former
+			// fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, domain, scope)
+			// with "/<attempt>" appended for the per-try hash domain.
+			q := dnswire.AcquireMessage()
+			defer dnswire.ReleaseMessage(q)
+			var kb [192]byte
+			keyBuf := append(kb[:0], "probe/"...)
+			keyBuf = strconv.AppendInt(keyBuf, int64(pass), 10)
+			keyBuf = append(keyBuf, '/')
+			keyBuf = append(keyBuf, pop...)
+			keyBuf = append(keyBuf, '/')
+			popLen := len(keyBuf)
+			tctx := ctx
+			var carrier *clockx.TimeCarrier
+			if isSim {
+				carrier = &clockx.TimeCarrier{Context: ctx}
+				tctx = carrier
+			}
+			// hedge is the chunk's hedge-option slot. Tasks reference it
+			// only while they run, and a chunk runs its tasks
+			// sequentially, so one slot serves them all; the merge loop
+			// reads the account's counters, never the option.
 			var hedge hedgeOption
-			var r probeResult
-			if plans != nil {
-				rt := plans[pi].route(ti)
-				if rt.kind == health.RouteLost {
-					return // no in-radius fallback: not probed this pass
+			for ti := lo; ti < hi; ti++ {
+				tk := tasks[ti]
+				pv := v
+				r := &res[ti]
+				if plans != nil {
+					rt := plans[pi].route(ti)
+					if rt.kind == health.RouteLost {
+						continue // no in-radius fallback: not probed this pass
+					}
+					pv = rt.v
+					hedge = plans[pi].hedgeFor(rt)
+					r.retry.hedge = &hedge
 				}
-				pv = rt.v
-				hedge = plans[pi].hedgeFor(rt)
-				r.retry.hedge = &hedge
-			}
-			// Schedule probes evenly across the pass window, as the
-			// live rate limiter would.
-			offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
-			tctx := p.scheduleCtx(ctx, passStart.Add(offset))
-			r.retry.remaining = p.retryAllowance(fmt.Sprintf("probe/%d/%s", pass, pop), ti, len(tasks))
-			r.retry.delays = delays
-			for a := 0; a < p.cfg.Redundancy; a++ {
-				key := fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, tk.domain, tk.scope)
-				hit, respScope := p.snoop(tctx, pv, p.txid(key, a), tk.domain, tk.scope,
-					fmt.Sprintf("%s/%d", key, a), &r.retry)
-				r.probes++
-				if hit {
-					r.hit, r.respScope = true, respScope
-					r.at = clockx.NowIn(tctx, p.cfg.Clock)
-					break
+				// Schedule probes evenly across the pass window, as the
+				// live rate limiter would.
+				offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
+				if carrier != nil {
+					carrier.T = passStart.Add(offset)
+				}
+				r.retry.remaining = p.retryAllowance(allowScope, ti, len(tasks))
+				r.retry.delays = delays
+				key := append(keyBuf[:popLen], tk.domain...)
+				key = append(key, '/')
+				key = tk.scope.AppendTo(key)
+				kLen := len(key)
+				base := p.txidBase(key)
+				for a := 0; a < p.cfg.Redundancy; a++ {
+					ak := strconv.AppendInt(append(key[:kLen], '/'), int64(a), 10)
+					hit, respScope := p.snoop(tctx, pv, q, txidAt(base, a), tk.domain, tk.scope, ak, &r.retry)
+					r.probes++
+					if hit {
+						r.hit, r.respScope = true, respScope
+						r.at = clockx.NowIn(tctx, p.cfg.Clock)
+						break
+					}
 				}
 			}
-			res[ti] = r
 		})
 		results[pi] = res
 	})

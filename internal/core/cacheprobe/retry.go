@@ -181,10 +181,18 @@ func (p *Prober) retryAllowance(scope string, ti, tasks int) int {
 	share := float64(r.BudgetPerPoP) / float64(tasks)
 	allow := int(math.Floor(share))
 	// The task index leads the hash key (FNV-1a avalanches early bytes,
-	// not trailing ones) so neighbouring tasks round independently.
-	if frac := share - float64(allow); frac > 0 &&
-		p.cfg.Seed.HashUnit(fmt.Sprintf("cacheprobe/retrybudget/%d/%s", ti, scope)) < frac {
-		allow++
+	// not trailing ones) so neighbouring tasks round independently. The
+	// key is byte-built in stack scratch, identical to the former
+	// fmt.Sprintf("cacheprobe/retrybudget/%d/%s", ti, scope).
+	if frac := share - float64(allow); frac > 0 {
+		var kb [96]byte
+		k := append(kb[:0], "cacheprobe/retrybudget/"...)
+		k = strconv.AppendInt(k, int64(ti), 10)
+		k = append(k, '/')
+		k = append(k, scope...)
+		if p.cfg.Seed.HashUnitB(k) < frac {
+			allow++
+		}
 	}
 	return allow
 }
@@ -197,7 +205,7 @@ func (p *Prober) retryAllowance(scope string, ti, tasks int) int {
 // treated as retryable failures — the re-query models the TC=1 → TCP
 // fallback. key must identify the logical query (the txid content key
 // plus redundancy attempt); acct may be nil (no budget, no accounting).
-func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server string, q *dnswire.Message, key string, acct *retryAccount) (*dnswire.Message, error) {
+func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server string, q *dnswire.Message, key []byte, acct *retryAccount) (*dnswire.Message, error) {
 	r := p.cfg.Retry
 	if !r.Enabled() && r.Timeout <= 0 && !p.hedging(acct) {
 		// Zero-value fast path: Attempts ≤ 1 means a single try, and
@@ -230,7 +238,14 @@ func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server strin
 			if step > 0 {
 				step <<= uint(try - 1)
 				// try leads the key (FNV-1a avalanches early bytes only).
-				step += time.Duration(p.cfg.Seed.HashUnit(fmt.Sprintf("cacheprobe/retry/%d/%s", try, key)) * float64(r.Backoff))
+				// Byte-built, identical to the former
+				// fmt.Sprintf("cacheprobe/retry/%d/%s", try, key).
+				var jb [240]byte
+				jk := append(jb[:0], "cacheprobe/retry/"...)
+				jk = strconv.AppendInt(jk, int64(try), 10)
+				jk = append(jk, '/')
+				jk = append(jk, key...)
+				step += time.Duration(p.cfg.Seed.HashUnitB(jk) * float64(r.Backoff))
 			}
 			delay += step
 			if t, ok := clockx.TimeFrom(ctx); ok {
@@ -249,6 +264,10 @@ func (p *Prober) exchange(ctx context.Context, ex dnsnet.Exchanger, server strin
 		if ok := err == nil && resp != nil && !resp.Truncated; ok || try >= extra {
 			break
 		}
+		// The failed try's response (if any — e.g. a truncated one) is
+		// dead; recycle it before the retry produces the next one.
+		dnswire.ReleaseMessage(resp)
+		resp = nil
 	}
 	if acct != nil {
 		acct.spent += try

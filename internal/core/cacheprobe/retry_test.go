@@ -64,7 +64,7 @@ func TestRetryZeroValues(t *testing.T) {
 			clk := &countingClock{}
 			ex := &countingExchanger{failures: tc.failures}
 			p := &Prober{cfg: Config{Seed: randx.Seed(7), Clock: clk, Retry: tc.retry}}
-			_, _ = p.exchange(context.Background(), ex, "test", &dnswire.Message{}, "zero/test", nil)
+			_, _ = p.exchange(context.Background(), ex, "test", &dnswire.Message{}, []byte("zero/test"), nil)
 			if ex.calls != tc.wantCalls {
 				t.Errorf("exchanges = %d, want %d", ex.calls, tc.wantCalls)
 			}

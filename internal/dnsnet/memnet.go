@@ -63,32 +63,56 @@ func (c *memClient) Exchange(ctx context.Context, server string, query *dnswire.
 		return nil, err
 	}
 
+	// The codec round trips run on pooled wire buffers and pooled
+	// messages: a decoded message never aliases the wire buffer it was
+	// parsed from, so the buffer is recycled as soon as decoding returns.
+	// The handler's own response is left to the GC here — handlers may
+	// return shared messages, so this hop must not recycle them.
 	q := query
 	if c.net.codec {
-		wire, err := query.Marshal()
+		bp := dnswire.AcquireBuf()
+		wire, err := query.AppendMarshal((*bp)[:0])
+		*bp = wire[:0] // keep a grown buffer for the pool
 		if err != nil {
+			dnswire.ReleaseBuf(bp)
 			return nil, err
 		}
-		q, err = dnswire.Unmarshal(wire)
+		q = dnswire.AcquireMessage()
+		err = dnswire.UnmarshalInto(q, wire)
+		dnswire.ReleaseBuf(bp)
 		if err != nil {
+			dnswire.ReleaseMessage(q)
 			return nil, err
 		}
 	}
 	resp := h.ServeDNS(ctx, c.src, q)
+	if c.net.codec {
+		dnswire.ReleaseMessage(q)
+	}
 	if resp == nil {
 		return nil, ErrTimeout
 	}
 	if c.net.codec {
-		wire, err := resp.Marshal()
+		bp := dnswire.AcquireBuf()
+		wire, err := resp.AppendMarshal((*bp)[:0])
+		*bp = wire[:0] // keep a grown buffer for the pool
 		if err != nil {
+			dnswire.ReleaseBuf(bp)
 			return nil, err
 		}
-		resp, err = dnswire.Unmarshal(wire)
+		m := dnswire.AcquireMessage()
+		err = dnswire.UnmarshalInto(m, wire)
+		dnswire.ReleaseBuf(bp)
 		if err != nil {
+			dnswire.ReleaseMessage(m)
 			return nil, err
 		}
+		resp = m
 	}
 	if resp.ID != query.ID {
+		if c.net.codec {
+			dnswire.ReleaseMessage(resp)
+		}
 		return nil, ErrIDMismatch
 	}
 	return resp, nil

@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"strings"
+	"sync"
+	"unicode/utf8"
 
 	"clientmap/internal/netx"
 )
@@ -15,9 +16,44 @@ var (
 	ErrBadPointer       = errors.New("dnswire: bad compression pointer")
 )
 
+// Name interning. A campaign decodes the same few hundred domain names
+// hundreds of millions of times; returning one canonical string instance
+// per distinct name removes the per-decode string allocation. The table is
+// bounded so adversarial or fuzzed inputs cannot grow it without limit —
+// once full, unseen names simply allocate as they always did.
+const internMax = 4096
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 512)
+)
+
+// intern returns a string with b's bytes, reusing a previously returned
+// instance when possible. The map index with a string conversion inside
+// the brackets does not allocate.
+func intern(b []byte) string {
+	internMu.RLock()
+	s, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(internTab) < internMax {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
 type parser struct {
 	data []byte
 	off  int
+	// nameArr is decode scratch for one domain name. 255 is the wire
+	// limit; the extra room absorbs the last label appended before the
+	// length check fires, so the slice never spills to the heap.
+	nameArr [320]byte
 }
 
 func (p *parser) remaining() int { return len(p.data) - p.off }
@@ -58,16 +94,17 @@ func (p *parser) bytes(n int) ([]byte, error) {
 	return b, nil
 }
 
-// name decodes a possibly compressed domain name starting at the current
-// offset.
-func (p *parser) name() (string, error) {
-	var sb strings.Builder
+// nameBytes decodes a possibly compressed domain name starting at the
+// current offset into p's scratch buffer. The returned slice is only valid
+// until the next nameBytes call.
+func (p *parser) nameBytes() ([]byte, error) {
+	buf := p.nameArr[:0]
 	off := p.off
 	jumped := false
 	jumps := 0
 	for {
 		if off >= len(p.data) {
-			return "", ErrTruncatedMessage
+			return nil, ErrTruncatedMessage
 		}
 		c := p.data[off]
 		switch {
@@ -75,103 +112,127 @@ func (p *parser) name() (string, error) {
 			if !jumped {
 				p.off = off + 1
 			}
-			return sb.String(), nil
+			return buf, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(p.data) {
-				return "", ErrTruncatedMessage
+				return nil, ErrTruncatedMessage
 			}
 			target := int(binary.BigEndian.Uint16(p.data[off:]) & 0x3FFF)
 			if !jumped {
 				p.off = off + 2
 			}
 			if target >= off {
-				return "", fmt.Errorf("%w: forward pointer", ErrBadPointer)
+				return nil, fmt.Errorf("%w: forward pointer", ErrBadPointer)
 			}
 			jumps++
 			if jumps > 32 {
-				return "", fmt.Errorf("%w: too many jumps", ErrBadPointer)
+				return nil, fmt.Errorf("%w: too many jumps", ErrBadPointer)
 			}
 			off = target
 			jumped = true
 		case c&0xC0 != 0:
-			return "", fmt.Errorf("dnswire: reserved label type %#x", c&0xC0)
+			return nil, fmt.Errorf("dnswire: reserved label type %#x", c&0xC0)
 		default:
 			n := int(c)
 			if off+1+n > len(p.data) {
-				return "", ErrTruncatedMessage
+				return nil, ErrTruncatedMessage
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
+			if len(buf) > 0 {
+				buf = append(buf, '.')
 			}
-			sb.Write(p.data[off+1 : off+1+n])
+			buf = append(buf, p.data[off+1:off+1+n]...)
 			off += 1 + n
-			if sb.Len() > 255 {
-				return "", fmt.Errorf("dnswire: decoded name too long")
+			if len(buf) > 255 {
+				return nil, fmt.Errorf("dnswire: decoded name too long")
 			}
 		}
 	}
 }
 
-func (p *parser) question() (Question, error) {
-	name, err := p.name()
+// name decodes a name and returns it as decoded, without canonicalization
+// (SOA MName/RName keep their wire form, matching what the module has
+// always stored).
+func (p *parser) name() (string, error) {
+	b, err := p.nameBytes()
 	if err != nil {
-		return Question{}, err
+		return "", err
 	}
-	t, err := p.u16()
-	if err != nil {
-		return Question{}, err
-	}
-	c, err := p.u16()
-	if err != nil {
-		return Question{}, err
-	}
-	return Question{Name: CanonicalName(name), Type: Type(t), Class: Class(c)}, nil
+	return intern(b), nil
 }
 
-// rr decodes one resource record. OPT records are returned with opt=true
-// and parsed into the message's EDNS state by the caller.
-func (p *parser) rr() (rr RR, edns *EDNS, err error) {
-	name, err := p.name()
+// asciiLowerSafe reports whether CanonicalName would return b's bytes
+// unchanged: pure ASCII with no uppercase letters (decoded names never
+// carry a trailing dot, so lowercasing is the only transform that could
+// apply). Non-ASCII bytes must take the slow path — strings.ToLower maps
+// invalid UTF-8 to RuneError, and the fast path has to reproduce that
+// byte-for-byte.
+func asciiLowerSafe(b []byte) bool {
+	for _, c := range b {
+		if c >= utf8.RuneSelf || ('A' <= c && c <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+// nameCanon decodes a name and returns its canonical (lowercased) form.
+func (p *parser) nameCanon() (string, error) {
+	b, err := p.nameBytes()
 	if err != nil {
-		return RR{}, nil, err
+		return "", err
+	}
+	if asciiLowerSafe(b) {
+		return intern(b), nil
+	}
+	return CanonicalName(string(b)), nil
+}
+
+// rr decodes one resource record into the message's sections, or into its
+// EDNS state when the record is the OPT pseudo-RR (isOpt=true).
+func (p *parser) rr(m *Message) (rr RR, isOpt bool, err error) {
+	name, err := p.nameCanon()
+	if err != nil {
+		return RR{}, false, err
 	}
 	t, err := p.u16()
 	if err != nil {
-		return RR{}, nil, err
+		return RR{}, false, err
 	}
 	class, err := p.u16()
 	if err != nil {
-		return RR{}, nil, err
+		return RR{}, false, err
 	}
 	ttlAndFlags, err := p.u32()
 	if err != nil {
-		return RR{}, nil, err
+		return RR{}, false, err
 	}
 	rdlen, err := p.u16()
 	if err != nil {
-		return RR{}, nil, err
+		return RR{}, false, err
 	}
 	if Type(t) == TypeOPT {
 		rdata, err := p.bytes(int(rdlen))
 		if err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
-		e := &EDNS{UDPSize: class}
-		if err := parseEDNSOptions(rdata, e); err != nil {
-			return RR{}, nil, err
+		m.ednsBuf = EDNS{UDPSize: class}
+		m.EDNS = &m.ednsBuf
+		if err := parseEDNSOptions(rdata, m.EDNS); err != nil {
+			m.EDNS = nil
+			return RR{}, false, err
 		}
-		return RR{}, e, nil
+		return RR{}, true, nil
 	}
 
-	rr = RR{Name: CanonicalName(name), Class: Class(class), TTL: ttlAndFlags}
+	rr = RR{Name: name, Class: Class(class), TTL: ttlAndFlags}
 	end := p.off + int(rdlen)
 	if end > len(p.data) {
-		return RR{}, nil, ErrTruncatedMessage
+		return RR{}, false, ErrTruncatedMessage
 	}
 	switch Type(t) {
 	case TypeA:
 		if rdlen != 4 {
-			return RR{}, nil, fmt.Errorf("dnswire: A record with %d-byte rdata", rdlen)
+			return RR{}, false, fmt.Errorf("dnswire: A record with %d-byte rdata", rdlen)
 		}
 		v, _ := p.u32()
 		rr.Data = A{Addr: netx.Addr(v)}
@@ -180,65 +241,66 @@ func (p *parser) rr() (rr RR, edns *EDNS, err error) {
 		for p.off < end {
 			n, err := p.u8()
 			if err != nil {
-				return RR{}, nil, err
+				return RR{}, false, err
 			}
 			s, err := p.bytes(int(n))
 			if err != nil {
-				return RR{}, nil, err
+				return RR{}, false, err
 			}
 			txt.Strings = append(txt.Strings, string(s))
 		}
 		rr.Data = txt
 	case TypeCNAME:
-		target, err := p.name()
+		target, err := p.nameCanon()
 		if err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
-		rr.Data = CNAME{Target: CanonicalName(target)}
+		rr.Data = CNAME{Target: target}
 	case TypeNS:
-		host, err := p.name()
+		host, err := p.nameCanon()
 		if err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
-		rr.Data = NS{Host: CanonicalName(host)}
+		rr.Data = NS{Host: host}
 	case TypeSOA:
 		var soa SOA
 		if soa.MName, err = p.name(); err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		if soa.RName, err = p.name(); err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		if soa.Serial, err = p.u32(); err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		if soa.Refresh, err = p.u32(); err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		if soa.Retry, err = p.u32(); err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		if soa.Expire, err = p.u32(); err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		if soa.Minimum, err = p.u32(); err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		rr.Data = soa
 	default:
 		raw, err := p.bytes(int(rdlen))
 		if err != nil {
-			return RR{}, nil, err
+			return RR{}, false, err
 		}
 		rr.Data = Raw{RRType: Type(t), Data: append([]byte(nil), raw...)}
 	}
 	if p.off != end {
-		return RR{}, nil, fmt.Errorf("dnswire: rdata length mismatch for %s", Type(t))
+		return RR{}, false, fmt.Errorf("dnswire: rdata length mismatch for %s", Type(t))
 	}
-	return rr, nil, nil
+	return rr, false, nil
 }
 
-// parseEDNSOptions decodes the RDATA of an OPT record.
+// parseEDNSOptions decodes the RDATA of an OPT record. Any ECS option is
+// stored in e's inline buffer, so parsing does not allocate.
 func parseEDNSOptions(rdata []byte, e *EDNS) error {
 	for len(rdata) > 0 {
 		if len(rdata) < 4 {
@@ -263,10 +325,9 @@ func parseEDNSOptions(rdata []byte, e *EDNS) error {
 			// IPv6 or unknown family: ignored, per the module's IPv4 scope.
 			continue
 		}
-		ecs := &ECS{
-			SourcePrefixLen: opt[2],
-			ScopePrefixLen:  opt[3],
-		}
+		var ecs ECS
+		ecs.SourcePrefixLen = opt[2]
+		ecs.ScopePrefixLen = opt[3]
 		if ecs.SourcePrefixLen > 32 || ecs.ScopePrefixLen > 32 {
 			return fmt.Errorf("dnswire: ECS prefix length out of range")
 		}
@@ -280,70 +341,91 @@ func parseEDNSOptions(rdata []byte, e *EDNS) error {
 			a |= uint32(addrBytes[i]) << (24 - 8*i)
 		}
 		ecs.Addr = netx.PrefixFrom(netx.Addr(a), int(ecs.SourcePrefixLen)).Addr()
-		e.ECS = ecs
+		e.ecsBuf = ecs
+		e.ECS = &e.ecsBuf
+	}
+	return nil
+}
+
+// UnmarshalInto decodes a wire-format DNS message into m, reusing m's
+// section slices and inline EDNS buffers. m is reset first; on error its
+// contents are unspecified. Decoding a message whose names have been seen
+// before into a reused Message allocates only the RData boxes.
+func UnmarshalInto(m *Message, data []byte) error {
+	var p parser
+	p.data = data
+	m.Reset()
+	id, err := p.u16()
+	if err != nil {
+		return err
+	}
+	flags, err := p.u16()
+	if err != nil {
+		return err
+	}
+	qd, err := p.u16()
+	if err != nil {
+		return err
+	}
+	an, err := p.u16()
+	if err != nil {
+		return err
+	}
+	ns, err := p.u16()
+	if err != nil {
+		return err
+	}
+	ar, err := p.u16()
+	if err != nil {
+		return err
+	}
+
+	m.ID = id
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xF)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xF)
+
+	for i := 0; i < int(qd); i++ {
+		name, err := p.nameCanon()
+		if err != nil {
+			return err
+		}
+		t, err := p.u16()
+		if err != nil {
+			return err
+		}
+		c, err := p.u16()
+		if err != nil {
+			return err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(c)})
+	}
+	sections := [3]*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	counts := [3]int{int(an), int(ns), int(ar)}
+	for si, count := range counts {
+		for i := 0; i < count; i++ {
+			rr, isOpt, err := p.rr(m)
+			if err != nil {
+				return err
+			}
+			if isOpt {
+				continue
+			}
+			*sections[si] = append(*sections[si], rr)
+		}
 	}
 	return nil
 }
 
 // Unmarshal decodes a wire-format DNS message.
 func Unmarshal(data []byte) (*Message, error) {
-	p := &parser{data: data}
-	id, err := p.u16()
-	if err != nil {
+	m := new(Message)
+	if err := UnmarshalInto(m, data); err != nil {
 		return nil, err
-	}
-	flags, err := p.u16()
-	if err != nil {
-		return nil, err
-	}
-	qd, err := p.u16()
-	if err != nil {
-		return nil, err
-	}
-	an, err := p.u16()
-	if err != nil {
-		return nil, err
-	}
-	ns, err := p.u16()
-	if err != nil {
-		return nil, err
-	}
-	ar, err := p.u16()
-	if err != nil {
-		return nil, err
-	}
-
-	m := &Message{
-		ID:                 id,
-		Response:           flags&(1<<15) != 0,
-		Opcode:             uint8(flags >> 11 & 0xF),
-		Authoritative:      flags&(1<<10) != 0,
-		Truncated:          flags&(1<<9) != 0,
-		RecursionDesired:   flags&(1<<8) != 0,
-		RecursionAvailable: flags&(1<<7) != 0,
-		RCode:              RCode(flags & 0xF),
-	}
-	for i := 0; i < int(qd); i++ {
-		q, err := p.question()
-		if err != nil {
-			return nil, err
-		}
-		m.Questions = append(m.Questions, q)
-	}
-	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
-	counts := []int{int(an), int(ns), int(ar)}
-	for si, count := range counts {
-		for i := 0; i < count; i++ {
-			rr, edns, err := p.rr()
-			if err != nil {
-				return nil, err
-			}
-			if edns != nil {
-				m.EDNS = edns
-				continue
-			}
-			*sections[si] = append(*sections[si], rr)
-		}
 	}
 	return m, nil
 }

@@ -6,30 +6,98 @@ import (
 	"strings"
 )
 
+// nameOffset records where a (suffix of a) domain name was first written,
+// for compression pointers. A small slice searched linearly replaces the
+// map the encoder used to allocate per message: wire messages in this
+// module carry a handful of names, so the linear scan is faster than
+// hashing and costs nothing to set up.
+type nameOffset struct {
+	name string
+	off  int
+}
+
 // builder accumulates a wire-format message and tracks name offsets for
-// compression.
+// compression. It lives on the caller's stack — the offsets table is a
+// fixed array inside the struct rather than a slice, because a slice that
+// append might regrow marks the builder's contents as escaping and drags
+// the whole table to the heap. Messages with more than 16 distinct name
+// suffixes (none in this module's traffic) spill into the overflow slice,
+// trading one allocation for byte-identical compression.
 type builder struct {
-	buf     []byte
-	offsets map[string]int
+	buf []byte
+	// base is the message's start within buf: compression pointers are
+	// offsets from the DNS header, not from the buffer start, and the TCP
+	// framer marshals behind a two-byte length prefix.
+	base     int
+	offs     [16]nameOffset
+	noffs    int
+	overflow []nameOffset
 }
 
 func (b *builder) u8(v uint8)   { b.buf = append(b.buf, v) }
 func (b *builder) u16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
 func (b *builder) u32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
 
+func (b *builder) findOffset(n string) (int, bool) {
+	for i := 0; i < b.noffs; i++ {
+		if b.offs[i].name == n {
+			return b.offs[i].off, true
+		}
+	}
+	for i := range b.overflow {
+		if b.overflow[i].name == n {
+			return b.overflow[i].off, true
+		}
+	}
+	return 0, false
+}
+
+func (b *builder) storeOffset(n string, off int) {
+	if b.noffs < len(b.offs) {
+		b.offs[b.noffs] = nameOffset{name: n, off: off}
+		b.noffs++
+		return
+	}
+	b.overflow = append(b.overflow, nameOffset{name: n, off: off})
+}
+
+// checkName validates that n (already canonical) is encodable without the
+// string splitting ValidateName does; errors match ValidateName's.
+func checkName(n string) error {
+	if n == "" {
+		return nil
+	}
+	if len(n) > 253 {
+		return fmt.Errorf("%w: %q too long", errName, n)
+	}
+	start := 0
+	for i := 0; i <= len(n); i++ {
+		if i == len(n) || n[i] == '.' {
+			if i == start {
+				return fmt.Errorf("%w: empty label in %q", errName, n)
+			}
+			if i-start > 63 {
+				return fmt.Errorf("%w: label too long in %q", errName, n)
+			}
+			start = i + 1
+		}
+	}
+	return nil
+}
+
 // name appends a (possibly compressed) domain name.
 func (b *builder) name(n string) error {
 	n = CanonicalName(n)
-	if err := ValidateName(n); err != nil {
+	if err := checkName(n); err != nil {
 		return err
 	}
 	for n != "" {
-		if off, ok := b.offsets[n]; ok && off < 0x3FFF {
+		if off, ok := b.findOffset(n); ok {
 			b.u16(0xC000 | uint16(off))
 			return nil
 		}
-		if len(b.buf) < 0x3FFF {
-			b.offsets[n] = len(b.buf)
+		if off := len(b.buf) - b.base; off < 0x3FFF {
+			b.storeOffset(n, off)
 		}
 		label := n
 		if dot := strings.IndexByte(n, '.'); dot >= 0 {
@@ -44,7 +112,7 @@ func (b *builder) name(n string) error {
 	return nil
 }
 
-// rdataLenAt patches the two bytes at off with the RDATA length that
+// patchLen patches the two bytes at off with the RDATA length that
 // follows them.
 func (b *builder) patchLen(off int) {
 	binary.BigEndian.PutUint16(b.buf[off:], uint16(len(b.buf)-off-2))
@@ -131,12 +199,14 @@ func (b *builder) opt(e *EDNS) {
 	b.patchLen(lenOff)
 }
 
-// Marshal encodes m into wire format.
-func (m *Message) Marshal() ([]byte, error) {
-	b := &builder{
-		buf:     make([]byte, 0, 512),
-		offsets: make(map[string]int),
-	}
+// AppendMarshal encodes m into wire format appended to dst and returns the
+// extended buffer. Encoding into a buffer with sufficient capacity does not
+// allocate, which is what lets the transports frame millions of messages
+// through pooled buffers.
+func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
+	var b builder
+	b.buf = dst
+	b.base = len(dst)
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -193,4 +263,9 @@ func (m *Message) Marshal() ([]byte, error) {
 		b.opt(m.EDNS)
 	}
 	return b.buf, nil
+}
+
+// Marshal encodes m into wire format.
+func (m *Message) Marshal() ([]byte, error) {
+	return m.AppendMarshal(make([]byte, 0, 512))
 }

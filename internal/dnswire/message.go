@@ -193,6 +193,11 @@ type EDNS struct {
 	UDPSize uint16
 	// ECS is the client-subnet option, if present.
 	ECS *ECS
+	// ecsBuf is the inline storage ECS points at on the pooled/reused
+	// paths (WithECS, ReplyInto, UnmarshalInto), so attaching an option
+	// does not allocate. ECS staying a pointer keeps "option absent"
+	// expressible as nil.
+	ecsBuf ECS
 }
 
 // Message is a DNS message.
@@ -214,6 +219,13 @@ type Message struct {
 	// EDNS, when non-nil, is rendered as an OPT RR at the end of the
 	// additional section on marshal and parsed out of it on unmarshal.
 	EDNS *EDNS
+	// ednsBuf is the inline storage EDNS points at on the pooled/reused
+	// paths, mirroring EDNS.ecsBuf. Copying a Message by value leaves the
+	// copy's EDNS pointing into the original's buffer — fine for the
+	// read-only copies the module makes (hedged queries, forced
+	// truncation), but a copied message must not be mutated through
+	// WithECS and released independently.
+	ednsBuf EDNS
 }
 
 // Question returns the first question of m, or a zero Question.
@@ -227,44 +239,81 @@ func (m *Message) Question() Question {
 // NewQuery builds a query for (name, type) with the given ID. Recursion
 // desired is set; callers probing caches clear it explicitly.
 func NewQuery(id uint16, name string, t Type) *Message {
-	return &Message{
-		ID:               id,
-		RecursionDesired: true,
-		Questions:        []Question{{Name: CanonicalName(name), Type: t, Class: ClassINET}},
-	}
+	return new(Message).SetQuery(id, name, t)
+}
+
+// SetQuery resets m into the query NewQuery builds, reusing m's slice
+// capacity. The probe hot loop holds one scratch message per task batch
+// and re-points it at each (id, name, scope) instead of allocating a
+// fresh query per probe.
+func (m *Message) SetQuery(id uint16, name string, t Type) *Message {
+	m.Reset()
+	m.ID = id
+	m.RecursionDesired = true
+	m.Questions = append(m.Questions, Question{Name: CanonicalName(name), Type: t, Class: ClassINET})
+	return m
 }
 
 // WithECS attaches an ECS option for the given prefix to m's EDNS state and
-// returns m for chaining.
+// returns m for chaining. The option lives in m's inline buffers, so
+// repeated calls on a reused message do not allocate.
 func (m *Message) WithECS(p netx.Prefix) *Message {
 	if m.EDNS == nil {
-		m.EDNS = &EDNS{UDPSize: 4096}
+		m.ednsBuf = EDNS{UDPSize: 4096}
+		m.EDNS = &m.ednsBuf
 	}
-	m.EDNS.ECS = &ECS{
+	m.EDNS.ecsBuf = ECS{
 		SourcePrefixLen: uint8(p.Bits()),
 		Addr:            p.Addr(),
 	}
+	m.EDNS.ECS = &m.EDNS.ecsBuf
 	return m
 }
 
 // Reply builds a response skeleton for query q: same ID and question,
 // response bit set, recursion flags mirrored.
 func (q *Message) Reply() *Message {
-	r := &Message{
-		ID:               q.ID,
-		Response:         true,
-		Opcode:           q.Opcode,
-		RecursionDesired: q.RecursionDesired,
-		Questions:        append([]Question(nil), q.Questions...),
-	}
+	return q.ReplyInto(new(Message))
+}
+
+// ReplyInto fills r (typically fresh from AcquireMessage) with the
+// response skeleton Reply builds, reusing r's slice capacity and inline
+// EDNS/ECS buffers. The question section and any ECS option are copied by
+// value, so r shares nothing mutable with q.
+func (q *Message) ReplyInto(r *Message) *Message {
+	r.Reset()
+	r.ID = q.ID
+	r.Response = true
+	r.Opcode = q.Opcode
+	r.RecursionDesired = q.RecursionDesired
+	r.Questions = append(r.Questions, q.Questions...)
 	if q.EDNS != nil {
-		r.EDNS = &EDNS{UDPSize: 4096}
+		r.ednsBuf = EDNS{UDPSize: 4096}
+		r.EDNS = &r.ednsBuf
 		if q.EDNS.ECS != nil {
-			ecs := *q.EDNS.ECS
-			r.EDNS.ECS = &ecs
+			r.EDNS.ecsBuf = *q.EDNS.ECS
+			r.EDNS.ECS = &r.EDNS.ecsBuf
 		}
 	}
 	return r
+}
+
+// Reset clears m to the zero message while keeping section slice capacity
+// for reuse.
+func (m *Message) Reset() {
+	m.ID = 0
+	m.Response = false
+	m.Opcode = 0
+	m.Authoritative = false
+	m.Truncated = false
+	m.RecursionDesired = false
+	m.RecursionAvailable = false
+	m.RCode = 0
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authority = m.Authority[:0]
+	m.Additional = m.Additional[:0]
+	m.EDNS = nil
 }
 
 var errName = errors.New("dnswire: invalid name")

@@ -14,19 +14,25 @@ import (
 // maxTCPMessage is the largest frameable DNS message.
 const maxTCPMessage = 0xFFFF
 
-// WriteTCP marshals m and writes it to w with TCP length framing.
+// WriteTCP marshals m and writes it to w with TCP length framing. The
+// frame is assembled in a pooled buffer and written with a single Write,
+// so framing a message allocates nothing.
 func WriteTCP(w io.Writer, m *Message) error {
-	wire, err := m.Marshal()
+	bp := AcquireBuf()
+	defer ReleaseBuf(bp)
+	// Reserve the length prefix, marshal directly behind it, then patch.
+	buf := append(*bp, 0, 0)
+	buf, err := m.AppendMarshal(buf)
+	*bp = buf[:0]
 	if err != nil {
 		return err
 	}
-	if len(wire) > maxTCPMessage {
-		return fmt.Errorf("dnswire: message too large for TCP framing (%d bytes)", len(wire))
+	wireLen := len(buf) - 2
+	if wireLen > maxTCPMessage {
+		return fmt.Errorf("dnswire: message too large for TCP framing (%d bytes)", wireLen)
 	}
-	frame := make([]byte, 2+len(wire))
-	binary.BigEndian.PutUint16(frame, uint16(len(wire)))
-	copy(frame[2:], wire)
-	_, err = w.Write(frame)
+	binary.BigEndian.PutUint16(buf, uint16(wireLen))
+	_, err = w.Write(buf)
 	return err
 }
 
@@ -42,4 +48,27 @@ func ReadTCP(r io.Reader) (*Message, error) {
 		return nil, err
 	}
 	return Unmarshal(buf)
+}
+
+// ReadTCPInto reads one length-framed DNS message from r and decodes it
+// into m, reusing m's storage. The read buffer comes from the wire pool.
+func ReadTCPInto(r io.Reader, m *Message) error {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint16(lenBuf[:]))
+	bp := AcquireBuf()
+	defer ReleaseBuf(bp)
+	buf := *bp
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	*bp = buf[:0]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return UnmarshalInto(m, buf)
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -117,7 +118,14 @@ func (b Brownout) covers(target string, sinceEpoch time.Duration) bool {
 // [0.5, 1] so no covered window is ever fault-free.
 func (b Brownout) severity(seed randx.Seed, target string, sinceEpoch time.Duration) float64 {
 	w := int64(sinceEpoch / BrownoutWindow)
-	return 0.5 + 0.5*seed.HashUnit(fmt.Sprintf("faults/brownout/%d/%s", w, target))
+	// Byte-built, identical to the former
+	// fmt.Sprintf("faults/brownout/%d/%s", w, target).
+	var kb [64]byte
+	k := append(kb[:0], "faults/brownout/"...)
+	k = strconv.AppendInt(k, w, 10)
+	k = append(k, '/')
+	k = append(k, target...)
+	return 0.5 + 0.5*seed.HashUnitB(k)
 }
 
 // Flap cycles a target up and down: within [Start, Start+Duration) every
@@ -147,7 +155,14 @@ func (f Flap) down(seed randx.Seed, target string, sinceEpoch time.Duration) boo
 	}
 	cycle := int64((sinceEpoch - f.Start) / f.Period)
 	within := (sinceEpoch - f.Start) % f.Period
-	off := time.Duration(seed.HashUnit(fmt.Sprintf("faults/flap/%d/%s", cycle, target)) * float64(f.Period-f.Down))
+	// Byte-built, identical to the former
+	// fmt.Sprintf("faults/flap/%d/%s", cycle, target).
+	var kb [64]byte
+	k := append(kb[:0], "faults/flap/"...)
+	k = strconv.AppendInt(k, cycle, 10)
+	k = append(k, '/')
+	k = append(k, target...)
+	off := time.Duration(seed.HashUnitB(k) * float64(f.Period-f.Down))
 	return within >= off && within < off+f.Down
 }
 
@@ -418,12 +433,19 @@ func (in *Injector) delay(ctx context.Context, d time.Duration) context.Context 
 }
 
 // decide reports whether the fault keyed by kind fires for this query at
-// probability p. Pure hash — no state, no ordering sensitivity.
-func (in *Injector) decide(kind, key string, p float64) bool {
+// probability p. Pure hash — no state, no ordering sensitivity. The hash
+// domain is byte-built in stack scratch, identical to the former
+// "faults/" + kind + "/" + key concatenation.
+func (in *Injector) decide(kind string, key []byte, p float64) bool {
 	if p <= 0 {
 		return false
 	}
-	return in.cfg.Seed.HashUnit("faults/"+kind+"/"+key) < p
+	var kb [160]byte
+	k := append(kb[:0], "faults/"...)
+	k = append(k, kind...)
+	k = append(k, '/')
+	k = append(k, key...)
+	return in.cfg.Seed.HashUnitB(k) < p
 }
 
 // Exchange implements dnsnet.Exchanger.
@@ -432,11 +454,25 @@ func (in *Injector) Exchange(ctx context.Context, server string, query *dnswire.
 	// bytes through every later round, so the trailing constant fields
 	// give the short numeric differences full avalanche into HashUnit's
 	// high bits — trailing them instead would leave the k-th retry's
-	// decision nearly identical to the first try's.
-	key := fmt.Sprintf("%d/%d/%s/%s", AttemptFrom(ctx), query.ID, server, in.target)
+	// decision nearly identical to the first try's. Byte-built in stack
+	// scratch, identical to the former
+	// fmt.Sprintf("%d/%d/%s/%s", attempt, id, server, target) — the
+	// injector sits on the probe hot path, so the per-query formatting
+	// allocations were hot.
+	var kb [128]byte
+	key := strconv.AppendInt(kb[:0], int64(AttemptFrom(ctx)), 10)
+	key = append(key, '/')
+	key = strconv.AppendInt(key, int64(query.ID), 10)
+	key = append(key, '/')
+	key = append(key, server...)
+	key = append(key, '/')
+	key = append(key, in.target...)
 
 	if in.cfg.Jitter > 0 {
-		j := time.Duration(in.cfg.Seed.HashUnit("faults/jitter/"+key) * float64(in.cfg.Jitter))
+		var jb [144]byte
+		jk := append(jb[:0], "faults/jitter/"...)
+		jk = append(jk, key...)
+		j := time.Duration(in.cfg.Seed.HashUnitB(jk) * float64(in.cfg.Jitter))
 		ctx = in.delay(ctx, j)
 	}
 

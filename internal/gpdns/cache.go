@@ -32,20 +32,36 @@ type entry struct {
 	expiry time.Time
 }
 
+// poolStripes is the shard count of unbounded pools. Sixteen mutexes keep
+// concurrent probe workers for different domains off each other's locks;
+// the per-shard maps stay small enough that the split costs nothing.
+const poolStripes = 16
+
 // pool is one independent cache within a PoP. Google operates several per
 // site (§3.1.1 cites Trufflehunter), which is why the prober issues
 // redundant queries.
+//
+// Internally the pool is striped by a hash of the queried name so that
+// parallel probe workers — which hammer one pool from many goroutines —
+// do not serialize on a single mutex. Capacity-bounded pools keep a single
+// stripe: FIFO eviction is defined over the pool's global insertion order,
+// and striping it would change which entries a full pool drops.
 type pool struct {
-	mu sync.Mutex
-	// byName holds the cached entries for a name; ECS-aware domains can
-	// have many entries under different scope prefixes.
-	byName map[string][]entry
+	shards []poolShard
 	// capacity bounds the number of live entries (0 = unbounded); when
 	// full, the oldest insertion is evicted (FIFO, a fair approximation of
 	// cache pressure for short-TTL records).
 	capacity int
-	size     int
-	fifo     []fifoKey
+}
+
+// poolShard is one independently locked slice of a pool's key space.
+type poolShard struct {
+	mu sync.Mutex
+	// byName holds the cached entries for a name; ECS-aware domains can
+	// have many entries under different scope prefixes.
+	byName map[string][]entry
+	size   int
+	fifo   []fifoKey
 }
 
 type fifoKey struct {
@@ -54,15 +70,37 @@ type fifoKey struct {
 }
 
 func newPool(capacity int) *pool {
-	return &pool{byName: make(map[string][]entry), capacity: capacity}
+	n := poolStripes
+	if capacity > 0 {
+		n = 1
+	}
+	p := &pool{shards: make([]poolShard, n), capacity: capacity}
+	for i := range p.shards {
+		p.shards[i].byName = make(map[string][]entry)
+	}
+	return p
+}
+
+// shardFor picks the stripe for a name by FNV-1a.
+func (p *pool) shardFor(name string) *poolShard {
+	if len(p.shards) == 1 {
+		return &p.shards[0]
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &p.shards[h%uint32(len(p.shards))]
 }
 
 // lookup returns the live entry whose scope covers src, preferring the most
 // specific cover. Scope-/0 entries cover everything.
 func (p *pool) lookup(name string, src netx.Prefix, now time.Time) (entry, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	entries := p.byName[name]
+	sh := p.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	entries := sh.byName[name]
 	best := -1
 	for i := range entries {
 		e := &entries[i]
@@ -83,42 +121,47 @@ func (p *pool) lookup(name string, src netx.Prefix, now time.Time) (entry, bool)
 
 // insert caches e, replacing an expired or same-scope entry for the name.
 func (p *pool) insert(e entry, now time.Time) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	entries := p.byName[e.name]
+	sh := p.shardFor(e.name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	entries := sh.byName[e.name]
 	// Drop expired entries opportunistically and replace same-scope ones.
 	out := entries[:0]
 	for _, old := range entries {
 		if !old.expiry.After(now) || old.scope == e.scope {
-			p.size--
+			sh.size--
 			continue
 		}
 		out = append(out, old)
 	}
-	p.byName[e.name] = append(out, e)
-	p.size++
-	p.fifo = append(p.fifo, fifoKey{name: e.name, scope: e.scope})
-	for p.capacity > 0 && p.size > p.capacity && len(p.fifo) > 0 {
-		p.evictOldestLocked()
+	sh.byName[e.name] = append(out, e)
+	sh.size++
+	// The FIFO is only consulted by capacity eviction; unbounded pools
+	// skip it so steady-state inserts stay allocation-free.
+	if p.capacity > 0 {
+		sh.fifo = append(sh.fifo, fifoKey{name: e.name, scope: e.scope})
+		for sh.size > p.capacity && len(sh.fifo) > 0 {
+			sh.evictOldestLocked()
+		}
 	}
 }
 
 // evictOldestLocked removes the oldest FIFO key still cached.
-func (p *pool) evictOldestLocked() {
-	for len(p.fifo) > 0 {
-		k := p.fifo[0]
-		p.fifo = p.fifo[1:]
-		entries, ok := p.byName[k.name]
+func (sh *poolShard) evictOldestLocked() {
+	for len(sh.fifo) > 0 {
+		k := sh.fifo[0]
+		sh.fifo = sh.fifo[1:]
+		entries, ok := sh.byName[k.name]
 		if !ok {
 			continue
 		}
 		for i := range entries {
 			if entries[i].scope == k.scope {
-				p.byName[k.name] = append(entries[:i], entries[i+1:]...)
-				if len(p.byName[k.name]) == 0 {
-					delete(p.byName, k.name)
+				sh.byName[k.name] = append(entries[:i], entries[i+1:]...)
+				if len(sh.byName[k.name]) == 0 {
+					delete(sh.byName, k.name)
 				}
-				p.size--
+				sh.size--
 				return
 			}
 		}
@@ -152,16 +195,17 @@ func ttlRemaining(expiry, now time.Time) uint32 {
 	return secs
 }
 
-// answerFor builds the cache-hit response for query q.
+// answerFor builds the cache-hit response for query q in a pooled message;
+// the consumer of the response releases it.
 func answerFor(q *dnswire.Message, e entry, now time.Time) *dnswire.Message {
-	r := q.Reply()
+	r := q.ReplyInto(dnswire.AcquireMessage())
 	r.RecursionAvailable = true
-	r.Answers = []dnswire.RR{{
+	r.Answers = append(r.Answers, dnswire.RR{
 		Name:  e.name,
 		Class: dnswire.ClassINET,
 		TTL:   ttlRemaining(e.expiry, now),
 		Data:  dnswire.A{Addr: e.addr},
-	}}
+	})
 	if r.EDNS != nil && r.EDNS.ECS != nil {
 		r.EDNS.ECS.ScopePrefixLen = uint8(e.scope.Bits())
 	}
@@ -169,9 +213,10 @@ func answerFor(q *dnswire.Message, e entry, now time.Time) *dnswire.Message {
 }
 
 // missFor builds the cache-miss response: NOERROR, no answers, scope 0 —
-// what a snooped resolver returns when it has nothing cached.
+// what a snooped resolver returns when it has nothing cached. The response
+// is pooled; the consumer releases it.
 func missFor(q *dnswire.Message) *dnswire.Message {
-	r := q.Reply()
+	r := q.ReplyInto(dnswire.AcquireMessage())
 	r.RecursionAvailable = true
 	if r.EDNS != nil && r.EDNS.ECS != nil {
 		r.EDNS.ECS.ScopePrefixLen = 0

@@ -1,0 +1,64 @@
+package gpdns
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"clientmap/internal/netx"
+)
+
+// TestLazyKeyBytesMatchSprintf pins the lazy-fill sampler keys: the
+// byte-built "gpdns/<name>/<natural>/<pop>/<pool>" and
+// "gpdns/flip/..." keys must equal the fmt.Sprintf renderings they
+// replaced, or every lazily filled cache line in the simulated resolver
+// would move to a different arrival time and scope.
+func TestLazyKeyBytesMatchSprintf(t *testing.T) {
+	naturals := []netx.Prefix{
+		netx.MustParsePrefix("10.0.0.0/20"),
+		netx.MustParsePrefix("203.0.113.0/24"),
+	}
+	for _, name := range []string{"www.wikipedia.org", "cdn.fastly.net"} {
+		for _, natural := range naturals {
+			for _, pp := range [][2]int{{0, 0}, {3, 1}, {12, 7}} {
+				popIdx, poolIdx := pp[0], pp[1]
+
+				var kb [96]byte
+				key := append(kb[:0], "gpdns/"...)
+				key = append(key, name...)
+				key = append(key, '/')
+				key = natural.AppendTo(key)
+				key = append(key, '/')
+				key = strconv.AppendInt(key, int64(popIdx), 10)
+				key = append(key, '/')
+				key = strconv.AppendInt(key, int64(poolIdx), 10)
+				want := fmt.Sprintf("gpdns/%s/%s/%d/%d", name, natural, popIdx, poolIdx)
+				if string(key) != want {
+					t.Errorf("fill key = %q, want %q", key, want)
+				}
+
+				const fill = int64(1609459200123456789)
+				var fb [128]byte
+				fkey := append(fb[:0], "gpdns/flip/"...)
+				fkey = append(fkey, name...)
+				fkey = append(fkey, '/')
+				fkey = natural.AppendTo(fkey)
+				fkey = append(fkey, '/')
+				fkey = strconv.AppendInt(fkey, int64(popIdx), 10)
+				fkey = append(fkey, '/')
+				fkey = strconv.AppendInt(fkey, int64(poolIdx), 10)
+				fkey = append(fkey, '/')
+				fkey = strconv.AppendInt(fkey, fill, 10)
+				fwant := fmt.Sprintf("gpdns/flip/%s/%s/%d/%d/%d", name, natural, popIdx, poolIdx, fill)
+				if string(fkey) != fwant {
+					t.Errorf("flip key = %q, want %q", fkey, fwant)
+				}
+				// Suffix draws truncate back to the base and append a tag.
+				base := len(fkey)
+				if got, want := string(append(fkey[:base], "/mag"...)), fwant+"/mag"; got != want {
+					t.Errorf("suffix key = %q, want %q", got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,7 @@
 package gpdns
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -24,8 +24,18 @@ type LazyFill struct {
 	catalog map[string]domains.Domain
 	pools   int
 
-	mu    sync.Mutex
-	rates map[string]*scopeRates // key: domain|scope
+	// mu is read-held on the probe path: every probe consults ratesFor,
+	// and after warmup nearly all calls are hits on the memo map.
+	mu    sync.RWMutex
+	rates map[ratesKey]*scopeRates
+}
+
+// ratesKey identifies one (domain, scope) cache line. The struct key
+// replaces a concatenated "domain|scope" string that was rebuilt — one
+// allocation plus a prefix formatting — on every single probe.
+type ratesKey struct {
+	name  string
+	scope netx.Prefix
 }
 
 // scopeRates caches the per-PoP aggregated rates for one (domain, scope).
@@ -47,22 +57,22 @@ func NewLazyFill(model *traffic.Model, pools int) *LazyFill {
 		model:   model,
 		catalog: cat,
 		pools:   pools,
-		rates:   make(map[string]*scopeRates),
+		rates:   make(map[ratesKey]*scopeRates),
 	}
 }
 
 // ratesFor aggregates (and memoizes) the per-PoP client query rates for a
 // (domain, scope) cache line.
 func (lf *LazyFill) ratesFor(d domains.Domain, scope netx.Prefix) *scopeRates {
-	key := d.Name + "|" + scope.String()
-	lf.mu.Lock()
-	if r, ok := lf.rates[key]; ok {
-		lf.mu.Unlock()
+	key := ratesKey{name: d.Name, scope: scope}
+	lf.mu.RLock()
+	r, ok := lf.rates[key]
+	lf.mu.RUnlock()
+	if ok {
 		return r
 	}
-	lf.mu.Unlock()
 
-	r := &scopeRates{perPoP: make(map[int]float64)}
+	r = &scopeRates{perPoP: make(map[int]float64)}
 	first := true
 	var rateSum, diurnSum float64
 	scope.Slash24s(func(p netx.Slash24) bool {
@@ -91,7 +101,13 @@ func (lf *LazyFill) ratesFor(d domains.Domain, scope netx.Prefix) *scopeRates {
 	}
 
 	lf.mu.Lock()
-	lf.rates[key] = r
+	if prev, ok := lf.rates[key]; ok {
+		// Another worker computed the same line concurrently; keep one
+		// instance so every caller shares the memo.
+		r = prev
+	} else {
+		lf.rates[key] = r
+	}
 	lf.mu.Unlock()
 	return r
 }
@@ -121,8 +137,20 @@ func (lf *LazyFill) Lookup(popIdx, poolIdx int, name string, src netx.Prefix, no
 	if !ok || rate <= 0 {
 		return entry{}, false
 	}
-	key := fmt.Sprintf("gpdns/%s/%s/%d/%d", d.Name, natural, popIdx, poolIdx)
-	arrival, ok := lf.model.LastEventBeforeD(key, rate/float64(lf.pools), rates.lon, rates.diurn, now, d.TTL)
+	// Sampler key "gpdns/<name>/<natural>/<pop>/<pool>", byte-built in
+	// stack scratch — these bytes must equal the fmt.Sprintf("%s/%s/%d/%d")
+	// key this line used before the zero-alloc rewrite, or every lazily
+	// filled cache line would move (pinned by TestLazyKeyBytesMatchSprintf).
+	var kb [96]byte
+	key := append(kb[:0], "gpdns/"...)
+	key = append(key, d.Name...)
+	key = append(key, '/')
+	key = natural.AppendTo(key)
+	key = append(key, '/')
+	key = strconv.AppendInt(key, int64(popIdx), 10)
+	key = append(key, '/')
+	key = strconv.AppendInt(key, int64(poolIdx), 10)
+	arrival, ok := lf.model.LastEventBeforeDB(key, rate/float64(lf.pools), rates.lon, rates.diurn, now, d.TTL)
 	if !ok {
 		return entry{}, false
 	}
@@ -146,13 +174,26 @@ func (lf *LazyFill) Lookup(popIdx, poolIdx int, name string, src netx.Prefix, no
 func (lf *LazyFill) cachedScope(d domains.Domain, natural netx.Prefix, popIdx, poolIdx int, arrival time.Time) netx.Prefix {
 	seed := lf.model.W.Cfg.Seed
 	fill := arrival.UnixNano()
-	key := fmt.Sprintf("gpdns/flip/%s/%s/%d/%d/%d", d.Name, natural, popIdx, poolIdx, fill)
-	u := seed.HashUnit(key)
+	// Byte-identical to the former fmt.Sprintf("gpdns/flip/%s/%s/%d/%d/%d")
+	// key; suffix draws reuse the buffer by truncating back to the base.
+	var kb [128]byte
+	key := append(kb[:0], "gpdns/flip/"...)
+	key = append(key, d.Name...)
+	key = append(key, '/')
+	key = natural.AppendTo(key)
+	key = append(key, '/')
+	key = strconv.AppendInt(key, int64(popIdx), 10)
+	key = append(key, '/')
+	key = strconv.AppendInt(key, int64(poolIdx), 10)
+	key = append(key, '/')
+	key = strconv.AppendInt(key, fill, 10)
+	base := len(key)
+	u := seed.HashUnitB(key)
 	if u >= d.Scope.FlipProb {
 		return natural
 	}
 	// Magnitude distribution mirrors authdns: mostly ±1-2 bits.
-	v := seed.HashUnit(key + "/mag")
+	v := seed.HashUnitB(append(key[:base], "/mag"...))
 	var delta int
 	switch {
 	case v < 0.5:
@@ -160,11 +201,11 @@ func (lf *LazyFill) cachedScope(d domains.Domain, natural netx.Prefix, popIdx, p
 	case v < 0.8:
 		delta = 2
 	case v < 0.93:
-		delta = 3 + int(seed.Hash64(key+"/m2")%2)
+		delta = 3 + int(seed.Hash64B(append(key[:base], "/m2"...))%2)
 	default:
-		delta = 5 + int(seed.Hash64(key+"/m3")%4)
+		delta = 5 + int(seed.Hash64B(append(key[:base], "/m3"...))%4)
 	}
-	if seed.HashUnit(key+"/sign") < 0.5 {
+	if seed.HashUnitB(append(key[:base], "/sign"...)) < 0.5 {
 		delta = -delta
 	}
 	bits := natural.Bits() + delta

@@ -2,7 +2,6 @@ package gpdns
 
 import (
 	"context"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,11 +67,13 @@ type Server struct {
 	// lazy, when set, supplies background client-driven cache contents.
 	lazy *LazyFill
 
-	mu       sync.Mutex
-	vantages map[netx.Addr]int   // registered vantage source → PoP idx
-	clients  func(netx.Addr) int // fallback source router (client addrs)
-	udpLims  map[string]*dnsnet.TokenBucket
-	tcpLims  map[netx.Addr]*dnsnet.TokenBucket
+	// mu serializes route-table writes and the rate-limit maps; reads of
+	// the routing state go through the atomic pointer below, so the
+	// per-query hot path takes no lock at all.
+	mu      sync.Mutex
+	routes  atomic.Pointer[routeTable]
+	udpLims map[udpLimKey]*dnsnet.TokenBucket
+	tcpLims map[netx.Addr]*dnsnet.TokenBucket
 
 	poolCtr atomic.Uint64
 	// Stats counters.
@@ -81,6 +82,23 @@ type Server struct {
 	// Registry mirrors of the counters above, plus rate-limit occupancy.
 	mQueries, mHits, mLimited, mBuckets *metrics.Counter
 	mTokens                             *metrics.Histogram
+}
+
+// routeTable is the immutable routing state ServeDNS reads per query.
+// Registration replaces the whole table under s.mu (copy-on-write);
+// lookups load it atomically, so routing a query is lock-free.
+type routeTable struct {
+	vantages map[netx.Addr]int   // registered vantage source → PoP idx
+	clients  func(netx.Addr) int // fallback source router (client addrs)
+}
+
+// udpLimKey identifies one UDP rate-limit bucket: Google's strict UDP
+// limit is per (source, repeated domain). A struct key hashes directly —
+// the old formatted-string key allocated on every unscheduled query and
+// went through reflection in fmt.
+type udpLimKey struct {
+	from netx.Addr
+	name string
 }
 
 // tokenBounds is the fixed bucket layout of the rate-limit occupancy
@@ -99,8 +117,7 @@ func NewServer(cfg Config, router *anycast.Router) *Server {
 	s := &Server{
 		cfg:      cfg,
 		router:   router,
-		vantages: make(map[netx.Addr]int),
-		udpLims:  make(map[string]*dnsnet.TokenBucket),
+		udpLims:  make(map[udpLimKey]*dnsnet.TokenBucket),
 		tcpLims:  make(map[netx.Addr]*dnsnet.TokenBucket),
 		mQueries: cfg.Metrics.Counter("gpdns/queries"),
 		mHits:    cfg.Metrics.Counter("gpdns/cache_hits"),
@@ -108,6 +125,7 @@ func NewServer(cfg Config, router *anycast.Router) *Server {
 		mBuckets: cfg.Metrics.Counter("gpdns/ratelimit/buckets_created"),
 		mTokens:  cfg.Metrics.Histogram("gpdns/ratelimit/tokens", tokenBounds),
 	}
+	s.routes.Store(&routeTable{vantages: make(map[netx.Addr]int)})
 	for range router.PoPs() {
 		s.sites = append(s.sites, newSite(cfg.PoolsPerPoP, cfg.PoolCapacity))
 	}
@@ -125,7 +143,13 @@ func (s *Server) SetLazyFill(lf *LazyFill) { s.lazy = lf }
 func (s *Server) RegisterVantage(src netx.Addr, popIdx int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.vantages[src] = popIdx
+	old := s.routes.Load()
+	next := &routeTable{vantages: make(map[netx.Addr]int, len(old.vantages)+1), clients: old.clients}
+	for k, v := range old.vantages {
+		next.vantages[k] = v
+	}
+	next.vantages[src] = popIdx
+	s.routes.Store(next)
 }
 
 // SetClientRouter supplies the PoP lookup for non-vantage sources (used by
@@ -133,7 +157,8 @@ func (s *Server) RegisterVantage(src netx.Addr, popIdx int) {
 func (s *Server) SetClientRouter(f func(netx.Addr) int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.clients = f
+	old := s.routes.Load()
+	s.routes.Store(&routeTable{vantages: old.vantages, clients: f})
 }
 
 // Stats reports (queries served, cache hits, rate-limited drops).
@@ -142,15 +167,12 @@ func (s *Server) Stats() (queries, hits, limited uint64) {
 }
 
 func (s *Server) route(from netx.Addr) int {
-	s.mu.Lock()
-	popIdx, ok := s.vantages[from]
-	clients := s.clients
-	s.mu.Unlock()
-	if ok {
+	rt := s.routes.Load()
+	if popIdx, ok := rt.vantages[from]; ok {
 		return popIdx
 	}
-	if clients != nil {
-		return clients(from)
+	if rt.clients != nil {
+		return rt.clients(from)
 	}
 	return -1
 }
@@ -166,18 +188,18 @@ func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Messag
 	qq := q.Question()
 
 	if qq.Name == MyAddrDomain {
-		r := q.Reply()
+		r := q.ReplyInto(dnswire.AcquireMessage())
 		r.RecursionAvailable = true
-		r.Answers = []dnswire.RR{{
+		r.Answers = append(r.Answers, dnswire.RR{
 			Name:  qq.Name,
 			Class: dnswire.ClassINET,
 			TTL:   60,
 			Data:  dnswire.TXT{Strings: []string{s.router.PoPs()[popIdx].Name}},
-		}}
+		})
 		return r
 	}
 	if qq.Type != dnswire.TypeA {
-		r := q.Reply()
+		r := q.ReplyInto(dnswire.AcquireMessage())
 		r.RecursionAvailable = true
 		return r
 	}
@@ -228,20 +250,23 @@ func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Messag
 		return missFor(q)
 	}
 	if s.upstream == nil {
-		r := q.Reply()
+		r := q.ReplyInto(dnswire.AcquireMessage())
 		r.RCode = dnswire.RCodeServFail
 		return r
 	}
 
 	// Recursive resolution: forward with ECS and cache under the returned
-	// scope in this pool.
-	fq := dnswire.NewQuery(q.ID, qq.Name, dnswire.TypeA).WithECS(src)
+	// scope in this pool. The forward query and the upstream response are
+	// both consumed here, so both go back to the message pool.
+	fq := dnswire.AcquireMessage().SetQuery(q.ID, qq.Name, dnswire.TypeA).WithECS(src)
 	resp := s.upstream.ServeDNS(ctx, 0, fq)
+	dnswire.ReleaseMessage(fq)
 	if resp == nil || resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) == 0 {
-		r := q.Reply()
+		r := q.ReplyInto(dnswire.AcquireMessage())
 		r.RecursionAvailable = true
 		if resp != nil {
 			r.RCode = resp.RCode
+			dnswire.ReleaseMessage(resp)
 		} else {
 			r.RCode = dnswire.RCodeServFail
 		}
@@ -249,7 +274,8 @@ func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Messag
 	}
 	a, ok := resp.Answers[0].Data.(dnswire.A)
 	if !ok {
-		r := q.Reply()
+		dnswire.ReleaseMessage(resp)
+		r := q.ReplyInto(dnswire.AcquireMessage())
 		r.RCode = dnswire.RCodeServFail
 		return r
 	}
@@ -263,6 +289,7 @@ func (s *Server) ServeDNS(ctx context.Context, from netx.Addr, q *dnswire.Messag
 		scope:  scope,
 		expiry: now.Add(time.Duration(resp.Answers[0].TTL) * time.Second),
 	}
+	dnswire.ReleaseMessage(resp)
 	p.insert(e, now)
 	return answerFor(q, e, now)
 }
@@ -280,7 +307,7 @@ func (s *Server) UDP() dnsnet.Handler {
 			// campaign is enforced by the schedule, not re-checked here.
 			return s.ServeDNS(ctx, from, q)
 		}
-		key := fmt.Sprintf("%v|%s", from, q.Question().Name)
+		key := udpLimKey{from: from, name: q.Question().Name}
 		s.mu.Lock()
 		lim, ok := s.udpLims[key]
 		if !ok {

@@ -64,16 +64,23 @@ func (a Addr) Octets() (byte, byte, byte, byte) {
 
 // String returns the dotted-quad form of a.
 func (a Addr) String() string {
-	b0, b1, b2, b3 := a.Octets()
 	var buf [15]byte
-	out := strconv.AppendUint(buf[:0], uint64(b0), 10)
-	out = append(out, '.')
-	out = strconv.AppendUint(out, uint64(b1), 10)
-	out = append(out, '.')
-	out = strconv.AppendUint(out, uint64(b2), 10)
-	out = append(out, '.')
-	out = strconv.AppendUint(out, uint64(b3), 10)
-	return string(out)
+	return string(a.AppendTo(buf[:0]))
+}
+
+// AppendTo appends the dotted-quad form of a to b — the same bytes
+// String returns, without materializing a string. Hot probe loops build
+// hash keys with it into reused buffers.
+func (a Addr) AppendTo(b []byte) []byte {
+	b0, b1, b2, b3 := a.Octets()
+	b = strconv.AppendUint(b, uint64(b0), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(b1), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(b2), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(b3), 10)
+	return b
 }
 
 // Slash24 returns the /24 containing a.
@@ -184,7 +191,16 @@ func (p Prefix) Slash24s(fn func(Slash24) bool) {
 
 // String returns CIDR notation for p.
 func (p Prefix) String() string {
-	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+	var buf [18]byte
+	return string(p.AppendTo(buf[:0]))
+}
+
+// AppendTo appends CIDR notation for p to b (the same bytes String
+// returns).
+func (p Prefix) AppendTo(b []byte) []byte {
+	b = p.addr.AppendTo(b)
+	b = append(b, '/')
+	return strconv.AppendUint(b, uint64(p.bits), 10)
 }
 
 // Slash24 identifies one of the 2^24 possible IPv4 /24 prefixes: the top 24
@@ -207,3 +223,7 @@ func (s Slash24) AddrAt(host byte) Addr { return Addr(uint32(s)<<8 | uint32(host
 
 // String returns s in CIDR notation.
 func (s Slash24) String() string { return s.Prefix().String() }
+
+// AppendTo appends s in CIDR notation to b (the same bytes String
+// returns).
+func (s Slash24) AppendTo(b []byte) []byte { return s.Prefix().AppendTo(b) }

@@ -1,0 +1,45 @@
+package netx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendToMatchesString pins the allocation-free formatters against
+// String(): every hash key that embeds an address or prefix is byte-built
+// with AppendTo, and the determinism of those keys rests on the two
+// renderings never diverging.
+func TestAppendToMatchesString(t *testing.T) {
+	addrProp := func(raw uint32) bool {
+		a := Addr(raw)
+		return string(a.AppendTo(nil)) == a.String()
+	}
+	if err := quick.Check(addrProp, nil); err != nil {
+		t.Errorf("Addr.AppendTo diverges from String: %v", err)
+	}
+	prefixProp := func(raw uint32, bits uint8) bool {
+		p := PrefixFrom(Addr(raw), int(bits%33))
+		return string(p.AppendTo(nil)) == p.String()
+	}
+	if err := quick.Check(prefixProp, nil); err != nil {
+		t.Errorf("Prefix.AppendTo diverges from String: %v", err)
+	}
+	s24Prop := func(raw uint32) bool {
+		s := Addr(raw).Slash24()
+		return string(s.AppendTo(nil)) == s.Prefix().String()
+	}
+	if err := quick.Check(s24Prop, nil); err != nil {
+		t.Errorf("Slash24.AppendTo diverges from Prefix().String: %v", err)
+	}
+}
+
+// TestAppendToReusesBuffer: AppendTo must append (not overwrite), so key
+// builders can compose prefixes into larger keys.
+func TestAppendToReusesBuffer(t *testing.T) {
+	p := PrefixFrom(Addr(0xC0000200), 24)
+	buf := append([]byte{}, "key/"...)
+	buf = p.AppendTo(buf)
+	if got, want := string(buf), "key/"+p.String(); got != want {
+		t.Errorf("composed key = %q, want %q", got, want)
+	}
+}

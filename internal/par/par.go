@@ -10,6 +10,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers normalizes a worker-count knob: values <= 0 mean GOMAXPROCS.
@@ -48,6 +49,63 @@ func ForEach(n, workers int, fn func(int)) {
 				fn(i)
 			}
 		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachChunked calls fn(lo, hi) over contiguous ranges that exactly
+// cover [0, n), each at most chunk wide, using at most workers goroutines.
+// Workers claim chunks from an atomic counter, so one synchronization
+// point dispatches `chunk` items — the batched-dispatch primitive the
+// probe engine uses so per-item dispatch cost (goroutine wakeups, shared
+// counter traffic, per-item scratch setup) amortizes over hundreds of
+// probes.
+//
+// fn(lo, hi) must only write to per-index state for indices in [lo, hi).
+// The partition into chunks is identical for every worker count; only the
+// assignment of chunks to workers varies. workers <= 1 (or a single
+// chunk) runs every chunk inline, in ascending order — the sequential
+// reference behaviour.
+func ForEachChunked(n, workers, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -24,6 +24,15 @@ type Stream struct {
 	*rand.Rand
 }
 
+// FNV-1a parameters (the same ones hash/fnv uses). The hot paths hash
+// append-built []byte keys with the hand-rolled loop below instead of
+// hash/fnv's interface, which would force the key to escape; the two are
+// bit-identical over equal bytes, which keyhash_test pins.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // hashKey mixes a root seed and a string key into a 64-bit sub-seed.
 func hashKey(seed Seed, key string) int64 {
 	h := fnv.New64a()
@@ -36,9 +45,37 @@ func hashKey(seed Seed, key string) int64 {
 	return int64(h.Sum64())
 }
 
+// hashKeyB is hashKey over a byte-slice key: identical output for equal
+// bytes, no allocation and no escape of the key slice.
+func hashKeyB(seed Seed, key []byte) int64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(seed>>(8*i)))) * fnvPrime64
+	}
+	for _, c := range key {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return int64(h)
+}
+
 // New returns the stream for the given purpose key.
 func (s Seed) New(key string) *Stream {
 	return &Stream{Rand: rand.New(rand.NewSource(hashKey(s, key)))}
+}
+
+// Reseed repositions an existing stream onto the given purpose key: the
+// stream's subsequent draws are bit-identical to a fresh New(key) stream's,
+// but the ~5 KB generator state is reused instead of reallocated. Loops
+// that burn one short-lived stream per item (the root-trace generator
+// reseeds per source-hour) amortize their generator to one allocation.
+// Not safe concurrently with any use of the same stream.
+func (s Seed) Reseed(r *Stream, key string) {
+	r.Rand.Seed(hashKey(s, key))
+}
+
+// ReseedB is Reseed with an append-built byte-slice key.
+func (s Seed) ReseedB(r *Stream, key []byte) {
+	r.Rand.Seed(hashKeyB(s, key))
 }
 
 // Hash64 returns a stable 64-bit hash of (seed, key) with no stream state,
@@ -48,9 +85,22 @@ func (s Seed) Hash64(key string) uint64 {
 	return uint64(hashKey(s, key))
 }
 
+// Hash64B is Hash64 over a byte-slice key: Hash64B([]byte(k)) ==
+// Hash64(k) for every k. Hot loops build keys by appending into a reused
+// buffer and hash them here without materializing a string.
+func (s Seed) Hash64B(key []byte) uint64 {
+	return uint64(hashKeyB(s, key))
+}
+
 // HashUnit returns a stable uniform float64 in [0,1) for (seed, key).
 func (s Seed) HashUnit(key string) float64 {
 	return float64(s.Hash64(key)>>11) / (1 << 53)
+}
+
+// HashUnitB is HashUnit over a byte-slice key (same value as HashUnit of
+// the equal string).
+func (s Seed) HashUnitB(key []byte) float64 {
+	return float64(s.Hash64B(key)>>11) / (1 << 53)
 }
 
 // Bool returns true with probability p.

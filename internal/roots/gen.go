@@ -1,9 +1,9 @@
 package roots
 
 import (
-	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"clientmap/internal/dnswire"
@@ -184,11 +184,24 @@ func (g *Generator) Generate(cfg GenConfig, open func(letter string) (io.WriteCl
 
 	var stats Stats
 	hours := int(cfg.Duration.Hours() + 0.5)
+	// One emit stream and one count stream reseeded per (source, hour)
+	// instead of constructed: a fresh Stream carries a ~5KB source, and the
+	// loop below visits every source every simulated hour. The byte-built
+	// keys are identical to the former fmt.Sprintf ones, so the reseeded
+	// streams draw the exact sequences the per-iteration streams drew.
+	emitRng := g.seed.New("roots/emit/0/0")
+	countRng := g.seed.New("roots/count-scratch")
+	var ekb, ckb [48]byte
 	for h := 0; h < hours; h++ {
 		hourStart := cfg.Start.Add(time.Duration(h) * time.Hour)
 		perLetter := make([][]Record, len(letters))
 		for si, src := range srcs {
-			rng := g.seed.New(fmt.Sprintf("roots/emit/%d/%d", si, h))
+			ek := append(ekb[:0], "roots/emit/"...)
+			ek = strconv.AppendInt(ek, int64(si), 10)
+			ek = append(ek, '/')
+			ek = strconv.AppendInt(ek, int64(h), 10)
+			g.seed.ReseedB(emitRng, ek)
+			rng := emitRng
 			emit := func(n int, weight uint32, mkName func() string, qtype dnswire.Type, isChromium bool) {
 				for i := 0; i < n; i++ {
 					li := rng.WeightedChoice(weights)
@@ -221,19 +234,27 @@ func (g *Generator) Generate(cfg GenConfig, open func(letter string) (io.WriteCl
 				return (count + int(weight) - 1) / int(weight), weight
 			}
 
+			// count draws one bucket sample through the reused stream;
+			// the category keys ("roots/chromium/<si>", ...) match the
+			// former Sprintf keys byte for byte.
+			count := func(category string, rate float64) int {
+				ck := append(ckb[:0], category...)
+				ck = strconv.AppendInt(ck, int64(si), 10)
+				return g.model.CountInDR(countRng, ck, rate, src.lon, 1, hourStart, time.Hour)
+			}
+
 			// Chromium interception probes.
-			count := g.model.CountIn(fmt.Sprintf("roots/chromium/%d", si), src.rate*cfg.ChromiumScale, src.lon, hourStart, time.Hour)
-			n, weight := sampled(count)
+			n, weight := sampled(count("roots/chromium/", src.rate*cfg.ChromiumScale))
 			emit(n, weight, func() string { return rng.LowerLetters(7 + rng.Intn(9)) }, dnswire.TypeA, true)
 
 			// Junk: misconfigured single-label names (heavy collisions)...
-			n, weight = sampled(g.model.CountIn(fmt.Sprintf("roots/junk/%d", si), src.rate*cfg.JunkFactor, src.lon, hourStart, time.Hour))
+			n, weight = sampled(count("roots/junk/", src.rate*cfg.JunkFactor))
 			emit(n, weight, func() string { return junkNames[rng.Intn(len(junkNames))] }, dnswire.TypeA, false)
 			// ...DGA-style repeated random names...
-			n, weight = sampled(g.model.CountIn(fmt.Sprintf("roots/dgaq/%d", si), src.rate*cfg.JunkFactor*0.3, src.lon, hourStart, time.Hour))
+			n, weight = sampled(count("roots/dgaq/", src.rate*cfg.JunkFactor*0.3))
 			emit(n, weight, func() string { return dga[rng.Intn(len(dga))] }, dnswire.TypeA, false)
 			// ...and ordinary TLD-bearing queries leaking to the roots.
-			n, weight = sampled(g.model.CountIn(fmt.Sprintf("roots/tld/%d", si), src.rate*cfg.JunkFactor, src.lon, hourStart, time.Hour))
+			n, weight = sampled(count("roots/tld/", src.rate*cfg.JunkFactor))
 			emit(n, weight, func() string { return rng.LowerLetters(4+rng.Intn(8)) + ".com" }, dnswire.TypeNS, false)
 		}
 		for li, recs := range perLetter {

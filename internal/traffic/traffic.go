@@ -14,6 +14,7 @@ package traffic
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"clientmap/internal/anycast"
@@ -130,12 +131,27 @@ func (m *Model) affinity(pi *world.PrefixInfo, d domains.Domain) float64 {
 		v = 1
 	}
 	as := m.W.ASes[pi.ASIdx]
-	asKey := fmt.Sprintf("traffic/asaffinity/%d/%s", as.ASN, d.Name)
-	zAS := (m.seed.HashUnit(asKey+"/1") + m.seed.HashUnit(asKey+"/2") +
-		m.seed.HashUnit(asKey+"/3") + m.seed.HashUnit(asKey+"/4") - 2.0) * math.Sqrt(3)
-	pKey := "traffic/affinity/" + pi.P.String() + "/" + d.Name
-	zP := (m.seed.HashUnit(pKey+"/1") + m.seed.HashUnit(pKey+"/2") +
-		m.seed.HashUnit(pKey+"/3") + m.seed.HashUnit(pKey+"/4") - 2.0) * math.Sqrt(3)
+	// Both Irwin-Hall keys are byte-built in stack scratch, identical to
+	// the former fmt.Sprintf("traffic/asaffinity/%d/%s", ...) and
+	// "traffic/affinity/"+prefix+"/"+name concatenations: affinity runs
+	// per (/24, domain) while the lazy-fill memo warms up, which made the
+	// nine string allocations here the dominant cost of a campaign's
+	// first probe pass.
+	var kb [96]byte
+	k := append(kb[:0], "traffic/asaffinity/"...)
+	k = strconv.AppendInt(k, int64(as.ASN), 10)
+	k = append(k, '/')
+	k = append(k, d.Name...)
+	base := len(k)
+	zAS := (m.seed.HashUnitB(append(k[:base], "/1"...)) + m.seed.HashUnitB(append(k[:base], "/2"...)) +
+		m.seed.HashUnitB(append(k[:base], "/3"...)) + m.seed.HashUnitB(append(k[:base], "/4"...)) - 2.0) * math.Sqrt(3)
+	k = append(kb[:0], "traffic/affinity/"...)
+	k = pi.P.AppendTo(k)
+	k = append(k, '/')
+	k = append(k, d.Name...)
+	base = len(k)
+	zP := (m.seed.HashUnitB(append(k[:base], "/1"...)) + m.seed.HashUnitB(append(k[:base], "/2"...)) +
+		m.seed.HashUnitB(append(k[:base], "/3"...)) + m.seed.HashUnitB(append(k[:base], "/4"...)) - 2.0) * math.Sqrt(3)
 	// The -v²·1.25 term centers the heavy-tailed multiplier near mean 1;
 	// the cap keeps one lucky hash from making an empty network look busy.
 	mult := math.Exp(v * (1.3*zAS + 0.9*zP - 1.25*v))
@@ -216,6 +232,27 @@ func (m *Model) CountInD(key string, rate, lon, diurn float64, start time.Time, 
 	return rng.Poisson(mean)
 }
 
+// CountInDR is CountInD with a byte-slice key and a caller-owned stream
+// that is reseeded instead of constructed: the two changes remove the key
+// formatting and the ~5KB rand source allocation from per-bucket sampling
+// loops (the roots trace generator draws hundreds of thousands of
+// samples). The sampled value is bit-identical to CountInD with the equal
+// string key.
+func (m *Model) CountInDR(r *randx.Stream, key []byte, rate, lon, diurn float64, start time.Time, dur time.Duration) int {
+	if rate <= 0 || dur <= 0 {
+		return 0
+	}
+	mid := start.Add(dur / 2)
+	mean := rate * dur.Seconds() * DiurnalWeighted(mid, lon, diurn)
+	var kb [128]byte
+	k := append(kb[:0], "traffic/"...)
+	k = append(k, key...)
+	k = append(k, '/')
+	k = strconv.AppendInt(k, start.Unix(), 10)
+	m.seed.ReseedB(r, k)
+	return r.Poisson(mean)
+}
+
 // LastEventBefore reports whether a Poisson process with the given mean
 // rate (diurnally modulated at longitude lon) produced an event within
 // [t-window, t], and if so when the most recent one was. The computation
@@ -229,21 +266,40 @@ func (m *Model) LastEventBefore(key string, rate float64, lon float64, t time.Ti
 
 // LastEventBeforeD is LastEventBefore with an explicit diurnality weight.
 func (m *Model) LastEventBeforeD(key string, rate, lon, diurn float64, t time.Time, window time.Duration) (time.Time, bool) {
+	var kb [128]byte
+	return m.LastEventBeforeDB(append(kb[:0], key...), rate, lon, diurn, t, window)
+}
+
+// LastEventBeforeDB is LastEventBeforeD with a byte-slice key, for callers
+// that assemble keys in reused buffers (the lazy cache-fill model calls
+// this once per probe). Results are bit-identical to the string variant.
+func (m *Model) LastEventBeforeDB(key []byte, rate, lon, diurn float64, t time.Time, window time.Duration) (time.Time, bool) {
 	if rate <= 0 || window <= 0 {
 		return time.Time{}, false
 	}
+	// Hash keys "traffic/ev/<key>/<bucket>" (did an event occur) and
+	// "traffic/evt/<key>/<bucket>" (when), assembled in stack scratch.
+	var evb, evtb [160]byte
+	kEv := append(evb[:0], "traffic/ev/"...)
+	kEv = append(kEv, key...)
+	kEv = append(kEv, '/')
+	evLen := len(kEv)
+	kEvt := append(evtb[:0], "traffic/evt/"...)
+	kEvt = append(kEvt, key...)
+	kEvt = append(kEvt, '/')
+	evtLen := len(kEvt)
 	bucket := t.UnixNano() / int64(window)
 	// Check the current bucket and the previous one: an event in either
 	// can still be within the lookback window.
 	for _, b := range [2]int64{bucket, bucket - 1} {
 		bStart := time.Unix(0, b*int64(window))
 		mean := rate * window.Seconds() * DiurnalWeighted(bStart.Add(window/2), lon, diurn)
-		u := m.seed.HashUnit(fmt.Sprintf("traffic/ev/%s/%d", key, b))
+		u := m.seed.HashUnitB(strconv.AppendInt(kEv[:evLen], b, 10))
 		if u >= 1-math.Exp(-mean) {
 			continue // no event in this bucket
 		}
 		// Event time: uniform within the bucket, deterministic.
-		frac := m.seed.HashUnit(fmt.Sprintf("traffic/evt/%s/%d", key, b))
+		frac := m.seed.HashUnitB(strconv.AppendInt(kEvt[:evtLen], b, 10))
 		evt := bStart.Add(time.Duration(frac * float64(window)))
 		if b == bucket && evt.After(t) {
 			// The bucket's event hasn't happened yet; fall through to the

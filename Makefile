@@ -3,13 +3,15 @@ GO ?= go
 .PHONY: build test race vet bench bench-smoke check cover fuzz-smoke golden-update
 
 # Packages whose coverage is gated in CI: the wire/transport layer, the
-# measurement cores, the stage runner, the metrics registry and the
-# degradation layer, where an untested branch is a silently wrong result.
-COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/metrics/... ./internal/health/...
+# measurement cores, the stage runner, the snapshot codecs, the metrics
+# registry and the degradation layer, where an untested branch is a
+# silently wrong result.
+COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/snapshot/... ./internal/metrics/... ./internal/health/...
 COVER_FLOOR = 70
-# The metrics registry and the health layer back the determinism
-# guarantees of every exported ledger and every breaker/failover
-# decision, so they carry a higher floor.
+# The metrics registry, the health layer, the snapshot codecs and the
+# stage runner back the determinism guarantees of every exported ledger,
+# every breaker/failover decision and every shard/delta checkpoint, so
+# they carry a higher floor.
 COVER_FLOOR_METRICS = 80
 
 build:
@@ -46,7 +48,7 @@ cover:
 	awk -v floor=$(COVER_FLOOR) -v mfloor=$(COVER_FLOOR_METRICS) ' \
 		{ print } \
 		/coverage:/ { \
-			f = floor; if ($$2 ~ /internal\/(metrics|health)/) f = mfloor; \
+			f = floor; if ($$2 ~ /internal\/(metrics|health|snapshot|pipeline)/) f = mfloor; \
 			pct = $$5; sub(/%.*/, "", pct); \
 			if (pct + 0 < f) { bad = 1; print "FAIL: " $$2 " below " f "% floor" } \
 		} \

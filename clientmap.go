@@ -87,6 +87,20 @@ type Config struct {
 	// this configuration, skipping the stages that produced them — how
 	// an interrupted campaign picks up where it was killed.
 	Resume bool
+	// Shards splits every probing pass into this many scatter shards
+	// (0 or 1 = monolithic passes). Results are byte-identical for any
+	// shard count.
+	Shards int
+	// ShardIndex makes this process shard runner N of a fleet sharing
+	// StateDir; meaningful only when Shards > 1, and requires StateDir.
+	// Any negative value (what cmd/clientmap's -shard-index defaults to)
+	// executes every shard in this one process. Note the zero value is
+	// runner 0: set -1 explicitly when Shards > 1 and this process should
+	// run the whole campaign alone.
+	ShardIndex int
+	// ShardDir is the work-stealing claim directory of a distributed
+	// run; empty means StateDir/shards.
+	ShardDir string
 	// Faults injects deterministic transport faults into the campaign,
 	// e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h". Empty (or "off")
 	// keeps the substrate perfectly reliable. Rates must lie in [0,1]
@@ -137,6 +151,11 @@ func Run(cfg Config) (*Evaluation, error) {
 	ecfg.Workers = cfg.Workers
 	ecfg.StateDir = cfg.StateDir
 	ecfg.Resume = cfg.Resume
+	if cfg.Shards > 0 {
+		ecfg.Shards = cfg.Shards
+	}
+	ecfg.ShardIndex = cfg.ShardIndex
+	ecfg.ShardDir = cfg.ShardDir
 	ecfg.Log = cfg.Log
 	if ecfg.Faults, err = faults.Parse(cfg.Faults); err != nil {
 		return nil, fmt.Errorf("clientmap: %w", err)

@@ -39,6 +39,26 @@ func validateReliabilityFlags(faultSpec, retrySpec, healthSpec string) error {
 	return nil
 }
 
+// validateShardFlags rejects impossible -shards/-shard-index/-state-dir
+// combinations before the run starts, for the same reason as
+// validateReliabilityFlags: a bad topology fails in milliseconds, not
+// after a campaign.
+func validateShardFlags(shards, shardIndex int, stateDir string) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", shards)
+	}
+	if shardIndex < -1 {
+		return fmt.Errorf("-shard-index must be -1 (run every shard) or a shard number, got %d", shardIndex)
+	}
+	if shardIndex >= shards {
+		return fmt.Errorf("-shard-index %d out of range: -shards is %d", shardIndex, shards)
+	}
+	if shardIndex >= 0 && stateDir == "" {
+		return fmt.Errorf("-shard-index requires -state-dir: shard runners share checkpoints through it")
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clientmap: ")
@@ -50,6 +70,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "probing worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
 		stateDir   = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
 		resume     = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
+		shards     = flag.Int("shards", 1, "split every probing pass into this many scatter shards (results are identical for any count)")
+		shardIndex = flag.Int("shard-index", -1, "run as shard runner N of -shards sharing -state-dir; -1 executes every shard in this process")
+		shardDir   = flag.String("shard-dir", "", "work-stealing claim directory of a distributed run (default <state-dir>/shards)")
 		faultSpec  = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
 		retrySpec  = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
 		healthSpec = flag.String("health", "", `graceful-degradation policy: "on" for defaults, or e.g. "window=15m,error-rate=0.5,open-after=4,probation=45m,hedge-after=150ms" (empty or "off" = no breakers/hedging/failover)`)
@@ -68,7 +91,11 @@ func main() {
 	if err := validateReliabilityFlags(*faultSpec, *retrySpec, *healthSpec); err != nil {
 		log.Fatal(err)
 	}
+	if err := validateShardFlags(*shards, *shardIndex, *stateDir); err != nil {
+		log.Fatal(err)
+	}
 	ccfg := clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers, StateDir: *stateDir, Resume: *resume,
+		Shards: *shards, ShardIndex: *shardIndex, ShardDir: *shardDir,
 		Faults: *faultSpec, Retries: *retrySpec, Health: *healthSpec, DebugAddr: *debugAddr}
 	if *stateDir != "" || *debugAddr != "" {
 		ccfg.Log = log.Printf

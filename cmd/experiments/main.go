@@ -45,6 +45,26 @@ func parseReliability(faultSpec, retrySpec, healthSpec string) (faults.Config, c
 	return fc, rc, hc, nil
 }
 
+// validateShardFlags rejects impossible -shards/-shard-index/-state-dir
+// combinations before the run starts, like parseReliability does for the
+// reliability specs: a bad topology fails in milliseconds, not after a
+// campaign.
+func validateShardFlags(shards, shardIndex int, stateDir string) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", shards)
+	}
+	if shardIndex < -1 {
+		return fmt.Errorf("-shard-index must be -1 (run every shard) or a shard number, got %d", shardIndex)
+	}
+	if shardIndex >= shards {
+		return fmt.Errorf("-shard-index %d out of range: -shards is %d", shardIndex, shards)
+	}
+	if shardIndex >= 0 && stateDir == "" {
+		return fmt.Errorf("-shard-index requires -state-dir: shard runners share checkpoints through it")
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
@@ -59,6 +79,9 @@ func main() {
 		csvDir     = flag.String("csvdir", "", "export every table and figure as CSV into this directory")
 		stateDir   = flag.String("state-dir", "", "checkpoint pipeline stages into this directory")
 		resume     = flag.Bool("resume", false, "reuse matching checkpoints in -state-dir, skipping completed stages")
+		shards     = flag.Int("shards", 1, "split every probing pass into this many scatter shards (results are identical for any count)")
+		shardIndex = flag.Int("shard-index", -1, "run as shard runner N of -shards sharing -state-dir; -1 executes every shard in this process")
+		shardDir   = flag.String("shard-dir", "", "work-stealing claim directory of a distributed run (default <state-dir>/shards)")
 		faultSpec  = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
 		retrySpec  = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
 		healthSpec = flag.String("health", "", `graceful-degradation policy: "on" for defaults, or e.g. "window=15m,error-rate=0.5,open-after=4,probation=45m,hedge-after=150ms" (empty or "off" = no breakers/hedging/failover)`)
@@ -91,6 +114,12 @@ func main() {
 	if *resume && *stateDir == "" {
 		log.Fatal("-resume requires -state-dir")
 	}
+	if err := validateShardFlags(*shards, *shardIndex, *stateDir); err != nil {
+		log.Fatal(err)
+	}
+	cfg.Shards = *shards
+	cfg.ShardIndex = *shardIndex
+	cfg.ShardDir = *shardDir
 	var err error
 	if cfg.Faults, cfg.Retry, cfg.Health, err = parseReliability(*faultSpec, *retrySpec, *healthSpec); err != nil {
 		log.Fatal(err)

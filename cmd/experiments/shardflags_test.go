@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The -shards/-shard-index topology must be rejected before the run
+// starts, with errors naming the offending flag.
+func TestValidateShardFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		shards   int
+		index    int
+		stateDir string
+		wantErr  string // empty = must validate
+	}{
+		{name: "defaults", shards: 1, index: -1},
+		{name: "in-process scatter/gather", shards: 8, index: -1},
+		{name: "in-process with state dir", shards: 3, index: -1, stateDir: "/tmp/x"},
+		{name: "first shard runner", shards: 3, index: 0, stateDir: "/tmp/x"},
+		{name: "last shard runner", shards: 3, index: 2, stateDir: "/tmp/x"},
+		{name: "zero shards", shards: 0, index: -1, wantErr: "-shards"},
+		{name: "negative shards", shards: -2, index: -1, wantErr: "-shards"},
+		{name: "index equals shards", shards: 3, index: 3, stateDir: "/tmp/x", wantErr: "-shard-index"},
+		{name: "index beyond shards", shards: 3, index: 7, stateDir: "/tmp/x", wantErr: "-shard-index"},
+		{name: "runner zero of one shard", shards: 1, index: 0, stateDir: "/tmp/x"}, // degenerates to a monolithic run
+		{name: "negative index below sentinel", shards: 3, index: -2, wantErr: "-shard-index"},
+		{name: "runner without state dir", shards: 3, index: 1, wantErr: "-state-dir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateShardFlags(tc.shards, tc.index, tc.stateDir)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateShardFlags(%d, %d, %q) = %v, want nil", tc.shards, tc.index, tc.stateDir, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateShardFlags(%d, %d, %q) = nil, want error mentioning %q", tc.shards, tc.index, tc.stateDir, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -269,6 +269,19 @@ func (f *FaultStats) addInjected(s faults.Stats) {
 	f.FlapDrops += s.FlapDrops
 }
 
+// add folds another ledger into this one fieldwise (delta application).
+func (f *FaultStats) add(o FaultStats) {
+	f.InjectedDrops += o.InjectedDrops
+	f.OutageDrops += o.OutageDrops
+	f.Truncations += o.Truncations
+	f.Duplicates += o.Duplicates
+	f.BrownoutDrops += o.BrownoutDrops
+	f.FlapDrops += o.FlapDrops
+	f.RetriesSpent += o.RetriesSpent
+	f.RetriesRecovered += o.RetriesRecovered
+	f.BudgetExhausted += o.BudgetExhausted
+}
+
 func (f *FaultStats) addRetries(a *retryAccount) {
 	f.RetriesSpent += int64(a.spent)
 	f.RetriesRecovered += int64(a.recovered)

@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"clientmap/internal/clockx"
 	"clientmap/internal/dnswire"
 	"clientmap/internal/geo"
-	"clientmap/internal/health"
 	"clientmap/internal/metrics"
 	"clientmap/internal/netx"
 	"clientmap/internal/par"
@@ -45,6 +45,12 @@ type Prober struct {
 	// m holds the resolved metric handles (all discarding when
 	// Config.Metrics is nil), so hot loops never touch the registry.
 	m proberMetrics
+	// execMu serializes shard execution and gathering within this
+	// process: the shard ledgers are registry snapshot deltas, and two
+	// overlapping snapshot windows would absorb each other's increments.
+	// Shards in different processes have separate registries and run
+	// fully in parallel.
+	execMu sync.Mutex
 }
 
 // NewProber builds a prober from vantage points and the authoritative
@@ -582,177 +588,24 @@ func (p *Prober) BuildAssignments(pops map[string]*Vantage, popCoords map[string
 // are computed from it, independent of the current clock reading, so a
 // resumed process reproduces the original schedule exactly).
 //
-// Within a pass, PoPs probe concurrently and each PoP's tasks run on the
-// intra-PoP pool. Each task's probe time is its scheduled position in the
-// pass window (what the live rate limiter would produce), carried on the
-// context; results land in per-task slots and are merged into the
-// Campaign in (sorted PoP, task index) order once the pass's workers join.
+// The pass runs as a degenerate scatter/gather: one shard holding the
+// whole assignment, executed and then gathered (see shard.go). The
+// N-shard split produces byte-identical campaigns, so this path is both
+// the reference behaviour and the common case.
 func (p *Prober) ProbePass(ctx context.Context, pops map[string]*Vantage, asg *Assignments, pass int, start time.Time, camp *Campaign) {
-	popNames := asg.popNames
-	passWindow := p.cfg.Duration / time.Duration(p.cfg.Passes)
-	camp.Passes = p.cfg.Passes
+	if _, err := p.ProbePassDelta(ctx, pops, asg, pass, start, camp); err != nil {
+		// Unreachable: the single full-partition shard covers every task.
+		panic(err)
+	}
+}
 
-	passStart := start.Add(time.Duration(pass) * passWindow)
-	camp.PassTimes = append(camp.PassTimes, passStart)
-	fin := p.stageFaults(camp)
-	defer fin()
-	finM := p.stageMetrics(camp)
-	defer finM()
-	// Sync the breaker tracker to the checkpointed campaign and compute
-	// this pass's failover plan from the frozen timeline — sequentially,
-	// before any worker starts, so routing is a pure function of state.
-	p.healthSync(camp, passStart)
-	plans := p.planPass(pops, asg, camp, pass, passStart)
-	passProbes, passHits := p.m.passProbes(pass), p.m.passHits(pass)
-	_, isSim := p.cfg.Clock.(*clockx.Sim)
-	results := make([][]probeResult, len(popNames))
-	par.ForEach(len(popNames), p.popFanout(len(popNames)), func(pi int) {
-		pop := popNames[pi]
-		v := pops[pop]
-		tasks := asg.tasks[pi]
-		delays := p.m.popDelay(pop)
-		// allowScope is the same for every task of the pass; hoisted out
-		// of the loop so the per-task allowance draw formats nothing.
-		allowScope := "probe/" + strconv.Itoa(pass) + "/" + pop
-		res := make([]probeResult, len(tasks))
-		par.ForEachChunked(len(tasks), p.workers(), probeChunk, func(lo, hi int) {
-			// Per-chunk scratch, reused across the chunk's tasks: one
-			// pooled query message, a content-key buffer pre-filled with
-			// the constant "probe/<pass>/<pop>/" prefix, and (in
-			// simulation) one time-carrier context re-stamped per task.
-			// Key bytes are identical to the former
-			// fmt.Sprintf("probe/%d/%s/%s/%s", pass, pop, domain, scope)
-			// with "/<attempt>" appended for the per-try hash domain.
-			q := dnswire.AcquireMessage()
-			defer dnswire.ReleaseMessage(q)
-			var kb [192]byte
-			keyBuf := append(kb[:0], "probe/"...)
-			keyBuf = strconv.AppendInt(keyBuf, int64(pass), 10)
-			keyBuf = append(keyBuf, '/')
-			keyBuf = append(keyBuf, pop...)
-			keyBuf = append(keyBuf, '/')
-			popLen := len(keyBuf)
-			tctx := ctx
-			var carrier *clockx.TimeCarrier
-			if isSim {
-				carrier = &clockx.TimeCarrier{Context: ctx}
-				tctx = carrier
-			}
-			// hedge is the chunk's hedge-option slot. Tasks reference it
-			// only while they run, and a chunk runs its tasks
-			// sequentially, so one slot serves them all; the merge loop
-			// reads the account's counters, never the option.
-			var hedge hedgeOption
-			for ti := lo; ti < hi; ti++ {
-				tk := tasks[ti]
-				pv := v
-				r := &res[ti]
-				if plans != nil {
-					rt := plans[pi].route(ti)
-					if rt.kind == health.RouteLost {
-						continue // no in-radius fallback: not probed this pass
-					}
-					pv = rt.v
-					hedge = plans[pi].hedgeFor(rt)
-					r.retry.hedge = &hedge
-				}
-				// Schedule probes evenly across the pass window, as the
-				// live rate limiter would.
-				offset := time.Duration(float64(passWindow) * float64(ti) / float64(len(tasks)+1))
-				if carrier != nil {
-					carrier.T = passStart.Add(offset)
-				}
-				r.retry.remaining = p.retryAllowance(allowScope, ti, len(tasks))
-				r.retry.delays = delays
-				key := append(keyBuf[:popLen], tk.domain...)
-				key = append(key, '/')
-				key = tk.scope.AppendTo(key)
-				kLen := len(key)
-				base := p.txidBase(key)
-				for a := 0; a < p.cfg.Redundancy; a++ {
-					ak := strconv.AppendInt(append(key[:kLen], '/'), int64(a), 10)
-					hit, respScope := p.snoop(tctx, pv, q, txidAt(base, a), tk.domain, tk.scope, ak, &r.retry)
-					r.probes++
-					if hit {
-						r.hit, r.respScope = true, respScope
-						r.at = clockx.NowIn(tctx, p.cfg.Clock)
-						break
-					}
-				}
-			}
-		})
-		results[pi] = res
-	})
-	// Deterministic merge: replay the pass sequentially in sorted-PoP,
-	// task-index order — the order the sequential prober issued probes
-	// in, so first-hitting-PoP attribution and hit-time order match.
-	cov := health.PassCoverage{Pass: pass}
-	for pi, pop := range popNames {
-		tasks := asg.tasks[pi]
-		var popProbes, popHits, popSpent int64
-		for ti := range results[pi] {
-			r := &results[pi][ti]
-			hitPoP := pop
-			if plans != nil {
-				rt := plans[pi].route(ti)
-				cov.Assigned++
-				switch rt.kind {
-				case health.RoutePrimary:
-					cov.Primary++
-				case health.RouteTrial:
-					cov.Trial++
-				case health.RouteAlternate:
-					cov.Alternate++
-					camp.Health.FailOver(pop)
-					p.m.failoverVantage.Inc()
-				case health.RouteFallback:
-					cov.Fallback++
-					camp.Health.FailOver(pop)
-					p.m.failoverPoP.Inc()
-					hitPoP = rt.pop // hits belong to the PoP that served them
-				case health.RouteLost:
-					cov.Lost++
-					camp.Health.LoseTask(pop, ti)
-					p.m.failoverLost.Inc()
-					continue // the slot holds no probe to account
-				}
-				camp.Health.AddHedges(int64(r.retry.hedgeFired), int64(r.retry.hedgeWon))
-				p.m.countHedges(&r.retry)
-			}
-			sent := int64(r.probes + r.retry.spent + r.retry.hedgeFired)
-			camp.ProbesSent += int(sent)
-			popProbes += sent
-			popSpent += int64(r.retry.spent)
-			camp.Faults.addRetries(&r.retry)
-			p.m.countRetries(&r.retry)
-			if r.hit {
-				popHits++
-				p.recordHit(camp, pass, hitPoP, tasks[ti].domain, tasks[ti].scope, r.respScope, r.at)
-			}
-		}
-		p.m.probeProbes.Add(popProbes)
-		p.m.probeHits.Add(popHits)
-		p.m.probeMisses.Add(int64(len(tasks)) - popHits)
-		passProbes.Add(popProbes)
-		passHits.Add(popHits)
-		p.m.popProbes(pop).Add(popProbes)
-		p.m.popHits(pop).Add(popHits)
-		p.cfg.Trace.Emit(metrics.Span{
-			Time: passStart, Stage: fmt.Sprintf("probe-pass-%d", pass), Pass: pass, PoP: pop, Event: "probed",
-			Fields: map[string]int64{
-				"tasks": int64(len(tasks)), "probes": popProbes,
-				"hits": popHits, "retries_spent": popSpent,
-			},
-		})
-	}
-	if plans != nil {
-		camp.Health.Coverage = append(camp.Health.Coverage, cov)
-		// Advance to the pass end so this pass's observations (all
-		// scheduled inside the window) are replayed into transitions the
-		// next pass's plan — and a resumed run — will see.
-		p.cfg.Health.Advance(passStart.Add(passWindow))
-		p.healthExport(camp)
-	}
+// ProbePassDelta is ProbePass returning the pass's incremental evidence
+// — what the staged pipeline checkpoints instead of the cumulative
+// campaign. camp is advanced by the delta before returning.
+func (p *Prober) ProbePassDelta(ctx context.Context, pops map[string]*Vantage, asg *Assignments, pass int, start time.Time, camp *Campaign) (*PassDelta, error) {
+	units := PartitionPass(asg, pass, 1)[0]
+	sr := p.ProbeShard(ctx, pops, asg, pass, start, camp, units)
+	return p.GatherPass(pops, asg, pass, start, camp, []*ShardResult{sr})
 }
 
 // FinishProbing places the simulated clock at the campaign end, for
@@ -776,36 +629,6 @@ func (p *Prober) Probe(ctx context.Context, pops map[string]*Vantage, popCoords 
 		p.ProbePass(ctx, pops, asg, pass, start, camp)
 	}
 	p.FinishProbing(start)
-}
-
-func (p *Prober) recordHit(camp *Campaign, pass int, pop, domain string, queryScope, respScope netx.Prefix, at time.Time) {
-	hits := camp.Hits[domain]
-	if hits == nil {
-		hits = make(map[netx.Prefix]*Hit)
-		camp.Hits[domain] = hits
-	}
-	h, ok := hits[respScope]
-	if !ok {
-		h = &Hit{RespScope: respScope, QueryScope: queryScope, PoP: pop, Domain: domain}
-		hits[respScope] = h
-		camp.PoPHits[pop]++
-	}
-	h.Count++
-	if pass >= 0 && pass < 64 {
-		h.PassMask |= 1 << uint(pass)
-	}
-	h.Times = append(h.Times, at)
-
-	diff := respScope.Bits() - queryScope.Bits()
-	if diff < 0 {
-		diff = -diff
-	}
-	dd := camp.ScopeDiffs[domain]
-	if dd == nil {
-		dd = make(map[int]int)
-		camp.ScopeDiffs[domain] = dd
-	}
-	dd[diff]++
 }
 
 // sortedPoPs returns the PoP names in sorted order — the canonical

@@ -1,0 +1,125 @@
+package cacheprobe
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fakeAssignments builds an assignment shape directly: taskCounts maps
+// PoP name → task-list length. Task contents are irrelevant to the
+// partitioner, which only reads the shape.
+func fakeAssignments(taskCounts map[string]int) *Assignments {
+	asg := &Assignments{}
+	for pop := range taskCounts {
+		asg.popNames = append(asg.popNames, pop)
+	}
+	// Mirror BuildAssignments' sorted-PoP invariant.
+	for i := range asg.popNames {
+		for j := i + 1; j < len(asg.popNames); j++ {
+			if asg.popNames[j] < asg.popNames[i] {
+				asg.popNames[i], asg.popNames[j] = asg.popNames[j], asg.popNames[i]
+			}
+		}
+	}
+	asg.tasks = make([][]probeTask, len(asg.popNames))
+	for i, pop := range asg.popNames {
+		asg.tasks[i] = make([]probeTask, taskCounts[pop])
+	}
+	return asg
+}
+
+// TestPartitionPassExactCoverage: for any shard count, the bins cover
+// every (PoP, task) slot exactly once and nothing else.
+func TestPartitionPassExactCoverage(t *testing.T) {
+	asg := fakeAssignments(map[string]int{
+		"ams": 17, "fra": 1, "iad": 64, "nrt": 5, "sin": 0, "syd": 23,
+	})
+	for _, shards := range []int{1, 2, 3, 8, 17, 100} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			bins := PartitionPass(asg, 2, shards)
+			if len(bins) != shards {
+				t.Fatalf("got %d bins, want exactly %d", len(bins), shards)
+			}
+			covered := map[[2]int]int{}
+			for _, bin := range bins {
+				for _, u := range bin {
+					if u.PoP != asg.popNames[u.PoPIndex] {
+						t.Fatalf("unit PoP %q does not match popNames[%d]=%q", u.PoP, u.PoPIndex, asg.popNames[u.PoPIndex])
+					}
+					if u.Lo < 0 || u.Hi > len(asg.tasks[u.PoPIndex]) || u.Lo >= u.Hi {
+						t.Fatalf("unit %+v out of bounds for %d tasks", u, len(asg.tasks[u.PoPIndex]))
+					}
+					for ti := u.Lo; ti < u.Hi; ti++ {
+						covered[[2]int{u.PoPIndex, ti}]++
+					}
+				}
+			}
+			for pi := range asg.popNames {
+				for ti := range asg.tasks[pi] {
+					if got := covered[[2]int{pi, ti}]; got != 1 {
+						t.Fatalf("task (%d,%d) covered %d times, want exactly once", pi, ti, got)
+					}
+				}
+			}
+			want := 0
+			for pi := range asg.tasks {
+				want += len(asg.tasks[pi])
+			}
+			if len(covered) != want {
+				t.Fatalf("covered %d slots, want %d", len(covered), want)
+			}
+		})
+	}
+}
+
+// TestPartitionPassDeterministic: the split is a pure function of
+// (assignment shape, pass, shards).
+func TestPartitionPassDeterministic(t *testing.T) {
+	counts := map[string]int{"ams": 40, "fra": 12, "iad": 7}
+	a := PartitionPass(fakeAssignments(counts), 3, 4)
+	b := PartitionPass(fakeAssignments(counts), 3, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same inputs produced different partitions")
+	}
+	c := PartitionPass(fakeAssignments(counts), 4, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different passes produced identical partitions — the deal should rotate per pass")
+	}
+}
+
+// TestPartitionPassSpreadsOnePoP: a single large PoP must split across
+// bins rather than pile onto one runner.
+func TestPartitionPassSpreadsOnePoP(t *testing.T) {
+	bins := PartitionPass(fakeAssignments(map[string]int{"iad": 1000}), 0, 4)
+	nonEmpty := 0
+	for _, bin := range bins {
+		if len(bin) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("1000 tasks of one PoP landed in %d bin(s), want them spread", nonEmpty)
+	}
+}
+
+// TestPartitionPassDegenerate: zero-task assignments yield empty bins;
+// shard counts below one clamp to a single bin.
+func TestPartitionPassDegenerate(t *testing.T) {
+	bins := PartitionPass(fakeAssignments(map[string]int{"ams": 0}), 0, 3)
+	for i, bin := range bins {
+		if len(bin) != 0 {
+			t.Errorf("bin %d has %d units for an empty assignment", i, len(bin))
+		}
+	}
+	bins = PartitionPass(fakeAssignments(map[string]int{"ams": 5}), 0, 0)
+	if len(bins) != 1 {
+		t.Fatalf("shards=0 produced %d bins, want clamp to 1", len(bins))
+	}
+	if got := len(bins[0]); got != 1 {
+		t.Fatalf("clamped partition has %d units, want 1 covering the whole PoP", got)
+	}
+	if u := bins[0][0]; u.Lo != 0 || u.Hi != 5 {
+		t.Errorf("clamped unit = %+v, want [0,5)", u)
+	}
+}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"clientmap/internal/apnic"
@@ -83,6 +84,29 @@ type Config struct {
 	// Resume reuses checkpoints in StateDir whose fingerprints match the
 	// current configuration, skipping the stages that produced them.
 	Resume bool
+	// Shards splits every probing pass into this many scatter shards.
+	// 0 or 1 keeps the pass monolithic; N > 1 expands each pass stage
+	// into N shard sub-stages (checkpointed as "probe-pass-k/shard-i")
+	// plus a gather stage under the pass's canonical name. Gathered
+	// results are byte-identical to the single-process campaign for any
+	// shard count.
+	Shards int
+	// ShardIndex selects shard-runner mode: when ≥ 0 (and Shards > 1)
+	// this process is runner ShardIndex of a fleet sharing StateDir — it
+	// builds the stages it owns, restores the rest from the other
+	// runners' checkpoints, and steals stragglers (see ShardStealAfter).
+	// Requires StateDir and forces Resume. -1 (the default) executes
+	// every shard in this one process.
+	ShardIndex int
+	// ShardDir holds the work-stealing claim files of a distributed
+	// run; empty means StateDir/shards. Runners sharing a campaign must
+	// share it.
+	ShardDir string
+	// ShardStealAfter is how long a shard runner waits on a stage's
+	// owner before claiming the stage itself (scaled by ring distance so
+	// stealers take turns); 0 means 5s. Real time — it paces the
+	// straggler watchdog, not the campaign.
+	ShardStealAfter time.Duration
 	// StopAfter aborts the run right after the named stage checkpoints
 	// (see stages.go for names) — the test stand-in for a mid-campaign
 	// kill. Run returns pipeline.ErrStopped.
@@ -120,6 +144,8 @@ func DefaultConfig(seed randx.Seed, scale world.Scale) Config {
 		Passes:           9,
 		TraceDuration:    48 * time.Hour,
 		PerSourceHourCap: 8,
+		Shards:           1,
+		ShardIndex:       -1,
 	}
 }
 
@@ -142,10 +168,45 @@ func (c Config) withDefaults() Config {
 	if c.PerSourceHourCap <= 0 {
 		c.PerSourceHourCap = d.PerSourceHourCap
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards == 1 || c.ShardIndex < 0 {
+		c.ShardIndex = -1
+	}
+	if c.ShardStealAfter <= 0 {
+		c.ShardStealAfter = 5 * time.Second
+	}
+	if c.shardRunner() {
+		// A shard runner obtains the stages it does not own by restoring
+		// the other runners' checkpoints — resume is the mechanism, not an
+		// option.
+		c.Resume = true
+	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
 	return c
+}
+
+// shardRunner reports whether this process is one runner of a
+// distributed campaign rather than the whole campaign.
+func (c Config) shardRunner() bool { return c.Shards > 1 && c.ShardIndex >= 0 }
+
+// validateSharding rejects impossible shard topologies before any stage
+// runs. Checked on the raw configuration, so a negative Shards is an
+// error rather than a silent fallback to 1.
+func (c Config) validateSharding() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("experiments: Shards must be non-negative, got %d", c.Shards)
+	}
+	if n := max(c.Shards, 1); c.ShardIndex >= n {
+		return fmt.Errorf("experiments: ShardIndex %d out of range for %d shard(s)", c.ShardIndex, n)
+	}
+	if c.Shards > 1 && c.ShardIndex >= 0 && c.StateDir == "" {
+		return fmt.Errorf("experiments: shard-runner mode (ShardIndex ≥ 0) requires StateDir")
+	}
+	return nil
 }
 
 // Results bundles everything a run produced.
@@ -180,13 +241,23 @@ type Results struct {
 // instead of restarting; see newStagedRun for the graph and the
 // determinism argument.
 func Run(cfg Config) (*Results, error) {
+	if err := cfg.validateSharding(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	sr := newStagedRun(cfg)
 	if err := sr.runner.Run(noCtx()); err != nil {
 		return nil, err
 	}
 	if cfg.StateDir != "" {
-		path, err := writeTrace(cfg.StateDir, sr.trace)
+		// Shard runners write per-runner trace files: the span log records
+		// what this process ran versus restored, and N processes must not
+		// clobber one shared file.
+		name := "trace.jsonl"
+		if cfg.shardRunner() {
+			name = fmt.Sprintf("trace-shard-%d.jsonl", cfg.ShardIndex)
+		}
+		path, err := writeTrace(cfg.StateDir, name, sr.trace)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +268,7 @@ func Run(cfg Config) (*Results, error) {
 		Cfg:      cfg,
 		Trace:    sr.trace,
 		Sys:      sr.world.Out(),
-		Campaign: sr.probeFinal.Out(),
+		Campaign: sr.probeFinal.Out().Camp,
 		DNSLogs:  sr.dnsLogs.Out(),
 		CDN:      sr.baselines.Out().CDN,
 		APNIC:    sr.baselines.Out().APNIC,

@@ -66,13 +66,14 @@ func (r *Results) RenderMetrics() *report.Table {
 }
 
 // writeTrace persists the run's span log as JSON Lines under
-// dir/metrics/trace.jsonl and returns the path.
-func writeTrace(dir string, tr *metrics.Trace) (string, error) {
+// dir/metrics/<name> and returns the path. Shard runners pass a
+// per-runner name so concurrent processes never share a file.
+func writeTrace(dir, name string, tr *metrics.Trace) (string, error) {
 	mdir := filepath.Join(dir, "metrics")
 	if err := os.MkdirAll(mdir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(mdir, "trace.jsonl")
+	path := filepath.Join(mdir, name)
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err

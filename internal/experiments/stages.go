@@ -43,6 +43,11 @@ const (
 // handy for Config.StopAfter in kill/resume tests and drills.
 func ProbePassStage(k int) string { return fmt.Sprintf("%s%d", StageProbePass, k) }
 
+// ShardStage returns the checkpoint stage name of scatter shard i of
+// probing pass k (only registered when Config.Shards > 1) — handy for
+// StopAfter in distributed kill/resume tests.
+func ShardStage(k, i int) string { return fmt.Sprintf("%s/shard-%d", ProbePassStage(k), i) }
+
 // campaignEnv is the in-memory (non-serializable) environment of the
 // probing chain: the prober wired to the simulated network and the
 // discovered PoPs. It is rebuilt by an ephemeral stage on every run —
@@ -84,14 +89,57 @@ type viewsArtifact struct {
 	ASCacheProbe, ASDNSLogs, ASUnion, ASAPNIC, ASMSClients, ASMSResolvers *datasets.ASDataset
 }
 
-// Stage artifact codecs. The campaign chain shares one codec: the
-// pre-scan, the calibration and every pass checkpoint the same
-// (cumulative) campaign state.
+// Stage artifact codecs. The pre-scan and the calibration checkpoint
+// the (still small) cumulative campaign; every probing pass checkpoints
+// only its own PassDelta (see passCodec), so per-pass checkpoint size
+// tracks the pass's evidence instead of growing with campaign length.
 var campaignCodec = &pipeline.Codec[*cacheprobe.Campaign]{
 	Kind:    snapshot.KindCampaign,
 	Version: snapshot.VersionCampaign,
 	Encode:  snapshot.EncodeCampaign,
 	Decode:  snapshot.DecodeCampaign,
+}
+
+var shardCodec = &pipeline.Codec[*cacheprobe.ShardResult]{
+	Kind:    snapshot.KindShardResult,
+	Version: snapshot.VersionShardResult,
+	Encode:  snapshot.EncodeShardResult,
+	Decode:  snapshot.DecodeShardResult,
+}
+
+// passArtifact is a probing-pass stage's in-memory artifact: the
+// cumulative campaign for downstream consumers, plus the pass's own
+// delta — the only part that checkpoints.
+type passArtifact struct {
+	Camp  *cacheprobe.Campaign
+	Delta *cacheprobe.PassDelta
+}
+
+// passCodec builds pass stage k's delta codec. Encoding persists the
+// PassDelta alone; decoding folds it into the upstream campaign through
+// the same Apply path a freshly gathered pass takes, so a restored
+// chain and a probed chain can never diverge. The delta records the
+// artifact hash of the checkpoint it applies to: a base mismatch
+// rejects the delta (the stage rebuilds) instead of silently corrupting
+// the fold.
+func passCodec(upCamp func() *cacheprobe.Campaign, upHash func() string) *pipeline.Codec[*passArtifact] {
+	return &pipeline.Codec[*passArtifact]{
+		Kind:    snapshot.KindCampaignDelta,
+		Version: snapshot.VersionCampaignDelta,
+		Encode:  func(w *snapshot.Writer, a *passArtifact) { snapshot.EncodePassDelta(w, a.Delta) },
+		Decode: func(r *snapshot.Reader) (*passArtifact, error) {
+			d, err := snapshot.DecodePassDelta(r)
+			if err != nil {
+				return nil, err
+			}
+			if base := upHash(); d.Base != base {
+				return nil, fmt.Errorf("delta applies to base %.12s, upstream checkpoint is %.12s", d.Base, base)
+			}
+			camp := upCamp()
+			d.Apply(camp)
+			return &passArtifact{Camp: camp, Delta: d}, nil
+		},
+	}
 }
 
 var dnslogsCodec = &pipeline.Codec[*dnslogs.Result]{
@@ -180,7 +228,7 @@ type stagedRun struct {
 	runner     *pipeline.Runner
 	trace      *metrics.Trace
 	world      *pipeline.Stage[*sim.System]
-	probeFinal *pipeline.Stage[*cacheprobe.Campaign]
+	probeFinal *pipeline.Stage[*passArtifact]
 	dnsLogs    *pipeline.Stage[*dnslogs.Result]
 	baselines  *pipeline.Stage[*baselineArtifact]
 	views      *pipeline.Stage[*viewsArtifact]
@@ -211,6 +259,7 @@ func newStagedRun(cfg Config) *stagedRun {
 		Dir:       cfg.StateDir,
 		Resume:    cfg.Resume,
 		StopAfter: cfg.StopAfter,
+		Gate:      cfg.gate(),
 		Log:       cfg.logf,
 		Trace:     trace,
 		TraceTime: campStart,
@@ -277,20 +326,68 @@ func newStagedRun(cfg Config) *stagedRun {
 		})
 
 	// Each probing pass is its own checkpoint boundary: kill after pass
-	// k, resume at pass k+1 with the campaign state decoded from disk.
-	prev := calibrate
+	// k, resume at pass k+1 with the upstream campaign decoded from disk
+	// and the pass's delta folded in. With cfg.Shards > 1 the pass first
+	// scatters into shard sub-stages ("probe-pass-k/shard-i", each its
+	// own checkpoint, so shards resume independently); the gather stage
+	// keeps the pass's canonical name, so StopAfter targets, resume logs
+	// and downstream dependencies are unchanged. The delta chain anchors
+	// on the calibration checkpoint: each delta's base hash is the
+	// previous pass's artifact, and any upstream change cascades through
+	// every shard into the gather.
+	upHandle := pipeline.Handle(calibrate)
+	upCamp := func() *cacheprobe.Campaign { return calibrate.Out() }
+	upHash := calibrate.ArtifactHash
+	var last *pipeline.Stage[*passArtifact]
 	for k := 0; k < cfg.Passes; k++ {
-		k, upstream := k, prev
+		k, uH, uc, uh := k, upHandle, upCamp, upHash
 		passFP := fmt.Sprintf("%s dur=%s passes=%d pass=%d", campFP, cfg.CampaignDuration, cfg.Passes, k)
-		prev = pipeline.AddStage(r, ProbePassStage(k), passFP, deps(setup, upstream), campaignCodec,
-			func(ctx context.Context) (*cacheprobe.Campaign, error) {
-				env := setup.Out()
-				camp := upstream.Out()
-				env.prober.ProbePass(ctx, env.pops, env.assignments(camp), k, campStart, camp)
-				return camp, nil
-			})
+		var stage *pipeline.Stage[*passArtifact]
+		if cfg.Shards > 1 {
+			shards := pipeline.FanOut(r, ProbePassStage(k), passFP, cfg.Shards, deps(setup, uH), shardCodec,
+				func(i int) func(ctx context.Context) (*cacheprobe.ShardResult, error) {
+					return func(ctx context.Context) (*cacheprobe.ShardResult, error) {
+						env := setup.Out()
+						camp := uc()
+						asg := env.assignments(camp)
+						units := cacheprobe.PartitionPass(asg, k, cfg.Shards)[i]
+						return env.prober.ProbeShard(ctx, env.pops, asg, k, campStart, camp, units), nil
+					}
+				})
+			gdeps := append(deps(setup, uH), pipeline.Handles(shards)...)
+			stage = pipeline.AddStage(r, ProbePassStage(k), passFP, gdeps, passCodec(uc, uh),
+				func(ctx context.Context) (*passArtifact, error) {
+					env := setup.Out()
+					camp := uc()
+					results := make([]*cacheprobe.ShardResult, len(shards))
+					for i, s := range shards {
+						results[i] = s.Out()
+					}
+					d, err := env.prober.GatherPass(env.pops, env.assignments(camp), k, campStart, camp, results)
+					if err != nil {
+						return nil, err
+					}
+					d.Base = uh()
+					return &passArtifact{Camp: camp, Delta: d}, nil
+				})
+		} else {
+			stage = pipeline.AddStage(r, ProbePassStage(k), passFP, deps(setup, uH), passCodec(uc, uh),
+				func(ctx context.Context) (*passArtifact, error) {
+					env := setup.Out()
+					camp := uc()
+					d, err := env.prober.ProbePassDelta(ctx, env.pops, env.assignments(camp), k, campStart, camp)
+					if err != nil {
+						return nil, err
+					}
+					d.Base = uh()
+					return &passArtifact{Camp: camp, Delta: d}, nil
+				})
+		}
+		upHandle, upHash = stage, stage.ArtifactHash
+		upCamp = func() *cacheprobe.Campaign { return stage.Out().Camp }
+		last = stage
 	}
-	sr.probeFinal = prev
+	sr.probeFinal = last
 
 	pipeline.AddStage(r, StageFinish, "", deps(setup, sr.probeFinal), nil,
 		func(ctx context.Context) (struct{}, error) {
@@ -317,7 +414,7 @@ func newStagedRun(cfg Config) *stagedRun {
 
 	sr.views = pipeline.AddStage(r, StageViews, base, deps(sr.world, sr.probeFinal, sr.dnsLogs, sr.baselines), viewsCodec,
 		func(ctx context.Context) (*viewsArtifact, error) {
-			return buildViews(sr.probeFinal.Out(), sr.dnsLogs.Out(), sr.baselines.Out(), sr.world.Out().RV), nil
+			return buildViews(sr.probeFinal.Out().Camp, sr.dnsLogs.Out(), sr.baselines.Out(), sr.world.Out().RV), nil
 		})
 
 	return sr

@@ -1,0 +1,69 @@
+package health
+
+import "sort"
+
+// Window-sum algebra for the shard/scatter/gather pipeline. A shard
+// executor exports the *difference* its probes made to the breaker
+// windows (DiffWindows); the gather step sums the shard deltas over the
+// pre-pass checkpoint (FoldWindows) to reconstruct exactly the windows a
+// single-process pass would have exported. Both operate on the canonical
+// export form (per-target ascending Index order) and preserve it, and
+// both follow ExportWindows's conventions: all-zero entries and empty
+// targets are dropped, and an empty result is nil.
+
+// FoldWindows returns base + delta without mutating either input.
+func FoldWindows(base, delta map[string][]WindowSum) map[string][]WindowSum {
+	return combineWindows(base, delta, 1)
+}
+
+// DiffWindows returns post - pre without mutating either input. The
+// inputs must be window exports of the same tracker taken before and
+// after a stage, so every entry of pre is covered by post and no sum
+// decreases.
+func DiffWindows(post, pre map[string][]WindowSum) map[string][]WindowSum {
+	return combineWindows(post, pre, -1)
+}
+
+func combineWindows(a, b map[string][]WindowSum, sign int64) map[string][]WindowSum {
+	targets := make(map[string]bool, len(a)+len(b))
+	for t := range a {
+		targets[t] = true
+	}
+	for t := range b {
+		targets[t] = true
+	}
+	out := make(map[string][]WindowSum, len(targets))
+	for t := range targets {
+		byIdx := make(map[int64]WindowSum)
+		for _, s := range a[t] {
+			c := byIdx[s.Index]
+			c.Index = s.Index
+			c.OK += s.OK
+			c.Fail += s.Fail
+			byIdx[s.Index] = c
+		}
+		for _, s := range b[t] {
+			c := byIdx[s.Index]
+			c.Index = s.Index
+			c.OK += sign * s.OK
+			c.Fail += sign * s.Fail
+			byIdx[s.Index] = c
+		}
+		sums := make([]WindowSum, 0, len(byIdx))
+		for _, s := range byIdx {
+			if s.OK == 0 && s.Fail == 0 {
+				continue
+			}
+			sums = append(sums, s)
+		}
+		if len(sums) == 0 {
+			continue
+		}
+		sort.Slice(sums, func(i, j int) bool { return sums[i].Index < sums[j].Index })
+		out[t] = sums
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

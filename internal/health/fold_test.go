@@ -1,0 +1,97 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+)
+
+func wmap(pairs ...any) map[string][]WindowSum {
+	m := map[string][]WindowSum{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].([]WindowSum)
+	}
+	return m
+}
+
+// TestFoldDiffRoundTrip: post == Fold(pre, Diff(post, pre)) — the
+// identity the gather step relies on to reconstruct a single-process
+// tracker's windows from shard deltas.
+func TestFoldDiffRoundTrip(t *testing.T) {
+	pre := wmap(
+		"fra", []WindowSum{{Index: 3, OK: 10, Fail: 2}, {Index: 4, OK: 7}},
+		"iad", []WindowSum{{Index: 3, OK: 5, Fail: 5}},
+	)
+	post := wmap(
+		"fra", []WindowSum{{Index: 3, OK: 12, Fail: 2}, {Index: 4, OK: 9, Fail: 1}, {Index: 5, Fail: 4}},
+		"iad", []WindowSum{{Index: 3, OK: 5, Fail: 5}},
+		"nrt", []WindowSum{{Index: 5, OK: 1}},
+	)
+	delta := DiffWindows(post, pre)
+	if got := FoldWindows(pre, delta); !reflect.DeepEqual(got, post) {
+		t.Errorf("Fold(pre, Diff(post, pre)) = %v, want %v", got, post)
+	}
+	// iad did not change between the exports, so the delta must not
+	// mention it at all.
+	if _, ok := delta["iad"]; ok {
+		t.Errorf("delta carries unchanged target iad: %v", delta["iad"])
+	}
+}
+
+// TestFoldWindowsCommutes: shard deltas sum in any order — the gather
+// step folds them sequentially, but their arrival order is a property of
+// which runner finished first.
+func TestFoldWindowsCommutes(t *testing.T) {
+	a := wmap("fra", []WindowSum{{Index: 1, OK: 2}, {Index: 2, Fail: 1}})
+	b := wmap("fra", []WindowSum{{Index: 2, OK: 3}}, "iad", []WindowSum{{Index: 1, Fail: 7}})
+	ab := FoldWindows(FoldWindows(nil, a), b)
+	ba := FoldWindows(FoldWindows(nil, b), a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Errorf("fold order changed the sum: %v vs %v", ab, ba)
+	}
+	want := wmap(
+		"fra", []WindowSum{{Index: 1, OK: 2}, {Index: 2, OK: 3, Fail: 1}},
+		"iad", []WindowSum{{Index: 1, Fail: 7}},
+	)
+	if !reflect.DeepEqual(ab, want) {
+		t.Errorf("fold = %v, want %v", ab, want)
+	}
+}
+
+// TestFoldWindowsCanonicalForm: outputs keep ExportWindows's
+// conventions — ascending Index order, zero entries and empty targets
+// dropped, nil when nothing remains.
+func TestFoldWindowsCanonicalForm(t *testing.T) {
+	a := wmap("fra", []WindowSum{{Index: 9, OK: 1}, {Index: 2, OK: 1}})
+	b := wmap("fra", []WindowSum{{Index: 5, Fail: 1}})
+	got := FoldWindows(a, b)["fra"]
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Index >= got[i].Index {
+			t.Fatalf("window sums out of order: %v", got)
+		}
+	}
+
+	// A diff that cancels everything is nil, not an empty map.
+	same := wmap("fra", []WindowSum{{Index: 1, OK: 4, Fail: 2}})
+	if d := DiffWindows(same, same); d != nil {
+		t.Errorf("self-diff = %v, want nil", d)
+	}
+	// Partial cancellation drops only the zeroed entries.
+	post := wmap("fra", []WindowSum{{Index: 1, OK: 4}, {Index: 2, OK: 6}})
+	pre := wmap("fra", []WindowSum{{Index: 1, OK: 4}, {Index: 2, OK: 1}})
+	want := wmap("fra", []WindowSum{{Index: 2, OK: 5}})
+	if d := DiffWindows(post, pre); !reflect.DeepEqual(d, want) {
+		t.Errorf("diff = %v, want %v", d, want)
+	}
+
+	// Nil inputs are fine on both sides.
+	if got := FoldWindows(nil, nil); got != nil {
+		t.Errorf("Fold(nil, nil) = %v, want nil", got)
+	}
+	one := wmap("fra", []WindowSum{{Index: 1, OK: 1}})
+	if got := FoldWindows(nil, one); !reflect.DeepEqual(got, one) {
+		t.Errorf("Fold(nil, x) = %v, want %v", got, one)
+	}
+	if got := FoldWindows(one, nil); !reflect.DeepEqual(got, one) {
+		t.Errorf("Fold(x, nil) = %v, want %v", got, one)
+	}
+}

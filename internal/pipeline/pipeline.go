@@ -51,6 +51,20 @@ type Codec[T any] struct {
 	Decode  func(*snapshot.Reader) (T, error)
 }
 
+// Gate arbitrates which process builds a persisted stage when several
+// runners share one state directory. Before building such a stage, the
+// runner asks the gate; a false answer means "another runner owns it" —
+// the stage then polls the state directory until the owner's checkpoint
+// appears, re-asking the gate each round so an implementation can time
+// out on a straggler and hand the stage over after all. Acquire is
+// called from concurrent stage goroutines and must be safe for that.
+// Duplicate builds are permitted (artifacts are deterministic and
+// written atomically, so the second write is a byte-identical replace);
+// a gate's job is economy and exactly-once accounting, not correctness.
+type Gate interface {
+	Acquire(stage string) bool
+}
+
 // Options configure a Runner.
 type Options struct {
 	// Dir is the state directory artifacts are checkpointed into; empty
@@ -65,6 +79,16 @@ type Options struct {
 	// (and checkpoints). Stages already running concurrently may still
 	// finish, exactly as with a real kill signal.
 	StopAfter string
+	// Gate, when set, coordinates persisted-stage builds across processes
+	// sharing Dir (see Gate). Requires Resume: a non-owning runner
+	// obtains the stage's artifact by restoring the owner's checkpoint.
+	// Ephemeral stages ignore the gate — they rebuild process-local
+	// state every runner needs.
+	Gate Gate
+	// GatePoll is how often a non-owning stage re-checks the state
+	// directory (and the gate) while waiting; 0 means 25ms. Real time,
+	// not simulated: it paces filesystem polling, not the campaign.
+	GatePoll time.Duration
 	// Log receives human-readable stage progress lines; nil discards.
 	Log func(format string, args ...any)
 	// Trace, when set, receives one structured span per stage reporting
@@ -173,6 +197,12 @@ func (s *Stage[T]) Out() T { return s.out }
 // rather than built.
 func (s *Stage[T]) Restored() bool { return s.m.restored }
 
+// ArtifactHash returns the stage's artifact content hash — what
+// downstream fingerprints chain on (the payload hash for persisted
+// stages, the fingerprint for ephemeral ones). Valid once the stage has
+// completed; delta artifacts record it as the base they apply to.
+func (s *Stage[T]) ArtifactHash() string { return s.m.artifactHash }
+
 func (s *Stage[T]) meta() *stageMeta { return &s.m }
 
 func (s *Stage[T]) await() error {
@@ -256,6 +286,14 @@ func (s *Stage[T]) produce(ctx context.Context, r *Runner) error {
 	if persisted && r.opts.Resume && s.tryRestore(r) {
 		return nil
 	}
+	if persisted && r.opts.Resume && r.opts.Gate != nil {
+		if err := s.awaitGate(ctx, r); err != nil {
+			return err
+		}
+		if s.m.restored {
+			return nil
+		}
+	}
 
 	start := time.Now()
 	r.logf("stage %s: running (fingerprint %s)", s.m.name, short(s.m.fingerprint))
@@ -294,6 +332,38 @@ func (s *Stage[T]) produce(ctx context.Context, r *Runner) error {
 		Attrs:  map[string]string{"fingerprint": short(s.m.fingerprint)},
 	})
 	return nil
+}
+
+// awaitGate blocks until this process may build the stage (returning
+// with restored unset) or another runner's checkpoint lands and restores
+// (restored set). Polling is real-time filesystem polling; the gate is
+// re-asked every round so steal deadlines can pass ownership here.
+func (s *Stage[T]) awaitGate(ctx context.Context, r *Runner) error {
+	if r.opts.Gate.Acquire(s.m.name) {
+		return nil
+	}
+	poll := r.opts.GatePoll
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	r.logf("stage %s: owned by another runner — waiting for its checkpoint", s.m.name)
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-r.stopped:
+			return ErrStopped
+		case <-tick.C:
+		}
+		if s.tryRestore(r) {
+			return nil
+		}
+		if r.opts.Gate.Acquire(s.m.name) {
+			return nil
+		}
+	}
 }
 
 // tryRestore loads the stage's checkpoint if it exists, matches the
@@ -344,14 +414,62 @@ func (s *Stage[T]) path(r *Runner) string {
 }
 
 // writeAtomic writes data via a temp file + rename so a kill mid-write
-// never leaves a torn checkpoint behind.
+// never leaves a torn checkpoint behind. The temp name is unique per
+// writer: shard runners sharing a state directory may checkpoint the
+// same stage concurrently (duplicate builds are deterministic and
+// byte-identical), and a fixed temp name would let one writer rename the
+// other's half-written file.
 func writeAtomic(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// FanOut registers n sibling persisted stages named "<base>/shard-<i>",
+// sharing deps and codec — the dynamic expansion of one logical stage
+// into shard sub-stages. Each shard's config fingerprint extends
+// configFP with its position, so changing the shard count invalidates
+// every shard; per-shard artifacts restore independently, giving
+// per-shard resume, and any upstream change cascades through all shards
+// to whatever gathers them. build(i) returns shard i's build function.
+func FanOut[T any](r *Runner, base, configFP string, n int, deps []Handle, codec *Codec[T], build func(i int) func(ctx context.Context) (T, error)) []*Stage[T] {
+	out := make([]*Stage[T], n)
+	for i := 0; i < n; i++ {
+		fp := fmt.Sprintf("%s shard=%d/%d", configFP, i, n)
+		out[i] = AddStage(r, fmt.Sprintf("%s/shard-%d", base, i), fp, deps, codec, build(i))
+	}
+	return out
+}
+
+// Handles converts typed stages to dependency handles.
+func Handles[T any](stages []*Stage[T]) []Handle {
+	out := make([]Handle, len(stages))
+	for i, s := range stages {
+		out[i] = s
+	}
+	return out
 }

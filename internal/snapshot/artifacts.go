@@ -20,6 +20,8 @@ import (
 // fail with ErrVersionMismatch instead of decoding garbage.
 const (
 	KindCampaign      = "cacheprobe.Campaign"
+	KindCampaignDelta = "cacheprobe.PassDelta"
+	KindShardResult   = "cacheprobe.ShardResult"
 	KindDNSLogs       = "dnslogs.Result"
 	KindCDN           = "cdn.Datasets"
 	KindAPNIC         = "apnic.Estimates"
@@ -34,6 +36,10 @@ const (
 	// VersionCampaign 4: added brownout/flap drops and the health ledger
 	// (breaker windows + transitions, hedges, coverage, failovers).
 	VersionCampaign uint16 = 4
+	// VersionCampaignDelta and VersionShardResult cover the shard /
+	// scatter/gather pipeline's incremental artifacts (see delta.go).
+	VersionCampaignDelta uint16 = 1
+	VersionShardResult   uint16 = 1
 	// VersionDNSLogs 2: added the OpenRetries counter.
 	VersionDNSLogs       uint16 = 2
 	VersionCDN           uint16 = 1

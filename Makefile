@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke check cover fuzz-smoke golden-update
+.PHONY: build test race vet bench bench-smoke check cover fuzz-smoke golden-update serve-smoke
 
 # Packages whose coverage is gated in CI: the wire/transport layer, the
 # measurement cores, the stage runner, the snapshot codecs, the metrics
 # registry and the degradation layer, where an untested branch is a
 # silently wrong result.
-COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/snapshot/... ./internal/metrics/... ./internal/health/...
+COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/snapshot/... ./internal/metrics/... ./internal/health/... ./internal/serve/...
 COVER_FLOOR = 70
-# The metrics registry, the health layer, the snapshot codecs and the
-# stage runner back the determinism guarantees of every exported ledger,
-# every breaker/failover decision and every shard/delta checkpoint, so
-# they carry a higher floor.
+# The metrics registry, the health layer, the snapshot codecs, the
+# stage runner and the serving layer back the determinism guarantees of
+# every exported ledger, every breaker/failover decision, every
+# shard/delta checkpoint and every answer handed to a client, so they
+# carry a higher floor.
 COVER_FLOOR_METRICS = 80
 
 build:
@@ -48,7 +49,7 @@ cover:
 	awk -v floor=$(COVER_FLOOR) -v mfloor=$(COVER_FLOOR_METRICS) ' \
 		{ print } \
 		/coverage:/ { \
-			f = floor; if ($$2 ~ /internal\/(metrics|health|snapshot|pipeline)/) f = mfloor; \
+			f = floor; if ($$2 ~ /internal\/(metrics|health|snapshot|pipeline|serve)/) f = mfloor; \
 			pct = $$5; sub(/%.*/, "", pct); \
 			if (pct + 0 < f) { bad = 1; print "FAIL: " $$2 " below " f "% floor" } \
 		} \
@@ -61,6 +62,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTCP -fuzztime=10s ./internal/dnswire
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/health
+	$(GO) test -run='^$$' -fuzz=FuzzReverseName -fuzztime=10s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzHTTPQuery -fuzztime=10s ./internal/serve
 
 # golden-update regenerates the golden regression corpus (the headline
 # statistics of a fixed small-scale campaign, plus the degraded-mode
@@ -68,7 +71,28 @@ fuzz-smoke:
 # intentional behaviour change and review the diff: every moved number is
 # a semantic change to the reproduction.
 golden-update:
-	CLIENTMAP_UPDATE_GOLDEN=1 $(GO) test -count=1 -run 'TestGolden' ./internal/experiments/
+	CLIENTMAP_UPDATE_GOLDEN=1 $(GO) test -count=1 -run 'TestGolden' ./internal/experiments/ ./internal/serve/
 
 # check is the pre-merge gate: static analysis plus the race-enabled suite.
 check: vet race
+
+# serve-smoke boots the full serving path end to end: export a tiny
+# deterministic artifact, start clientmapd on ephemeral ports, replay a
+# loadgen burst over both transports, and fail on any query error or a
+# p99 above 50ms. The limiter is off — loadgen blasts from one client.
+SMOKE_DIR = /tmp/clientmap-smoke
+serve-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(GO) build -o $(SMOKE_DIR)/experiments ./cmd/experiments
+	$(GO) build -o $(SMOKE_DIR)/clientmapd ./cmd/clientmapd
+	$(GO) build -o $(SMOKE_DIR)/loadgen ./cmd/loadgen
+	$(SMOKE_DIR)/experiments -scale tiny -seed 2021 -serve-artifact $(SMOKE_DIR)/map.snap
+	$(SMOKE_DIR)/clientmapd -artifact $(SMOKE_DIR)/map.snap \
+		-http 127.0.0.1:18053 -dns 127.0.0.1:15353 -rate=-1 & pid=$$!; \
+	trap 'kill $$pid' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18053/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	$(SMOKE_DIR)/loadgen -artifact $(SMOKE_DIR)/map.snap \
+		-http http://127.0.0.1:18053 -dns 127.0.0.1:15353 \
+		-n 1000 -workers 8 -p99-max 50ms -json $(SMOKE_DIR)/BENCH_serve.json

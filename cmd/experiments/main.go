@@ -23,6 +23,7 @@ import (
 	"clientmap/internal/metrics"
 	"clientmap/internal/randx"
 	"clientmap/internal/report"
+	"clientmap/internal/serve"
 	"clientmap/internal/world"
 )
 
@@ -89,6 +90,7 @@ func main() {
 		degJSON    = flag.String("degradation-json", "", "write the degradation ledger (breakers, hedges, failover, coverage) as JSON to this file")
 		metricsTo  = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
 		debugAddr  = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address for the run's duration`)
+		serveOut   = flag.String("serve-artifact", "", "export the serving artifact (serve.ClientMap snapshot) for clientmapd to this file")
 	)
 	flag.Parse()
 
@@ -177,6 +179,16 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *degJSON)
+	}
+	if *serveOut != "" {
+		cm := res.ClientMap()
+		hash, err := serve.WriteFile(*serveOut, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := serve.NewIndex(cm, 0, hash).Stats()
+		log.Printf("wrote %s (%d scopes, %d active /24s, %d ASes, artifact %.12s)",
+			*serveOut, st.Scopes, st.Active24s, st.ActiveASes, hash)
 	}
 	if *metricsTo != "" {
 		b := res.MetricsJSON()

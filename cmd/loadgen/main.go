@@ -1,0 +1,209 @@
+// Command loadgen replays deterministic client traffic against a running
+// clientmapd and reports throughput and latency percentiles.
+//
+// The query schedule is a pure function of (-seed, artifact): hit
+// targets are drawn from the artifact's per-/24 client-traffic weights,
+// misses uniformly from the v4 space, AS queries from the active ASNs.
+// Two runs with the same seed replay the same queries in the same order,
+// so recorded numbers compare across builds.
+//
+// Usage:
+//
+//	loadgen -artifact clientmap.snap -http http://localhost:8053 \
+//	        -dns localhost:5353 -n 5000 -json BENCH_serve.json
+//
+// With -p99-max the exit status reports whether both transports' p99
+// stayed under the bound — the CI smoke gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"clientmap/internal/randx"
+	"clientmap/internal/serve"
+)
+
+// benchDoc is the BENCH_serve.json shape: the measured report plus the
+// provenance needed to interpret it later.
+type benchDoc struct {
+	Benchmark string            `json:"benchmark"`
+	Date      string            `json:"date"`
+	Host      benchHost         `json:"host"`
+	Artifact  benchArtifact     `json:"artifact"`
+	Config    benchConfig       `json:"config"`
+	Report    *serve.LoadReport `json:"report"`
+}
+
+type benchHost struct {
+	CPU        string `json:"cpu,omitempty"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+}
+
+type benchArtifact struct {
+	Hash      string `json:"hash"`
+	Seed      uint64 `json:"seed"`
+	Scale     string `json:"scale"`
+	Scopes    int    `json:"scopes"`
+	Active24s int    `json:"active_24s"`
+}
+
+type benchConfig struct {
+	Seed    uint64 `json:"seed"`
+	Queries int    `json:"queries"`
+	Workers int    `json:"workers"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		artifact = flag.String("artifact", "", "serve.ClientMap snapshot the daemon serves (required; sources the traffic model)")
+		httpBase = flag.String("http", "", `daemon HTTP base URL, e.g. "http://127.0.0.1:8053" ("" disables HTTP queries)`)
+		dnsAddr  = flag.String("dns", "", `daemon DNS host:port ("" disables DNS queries)`)
+		zone     = flag.String("zone", serve.DefaultZone, "DNS zone to query")
+		seed     = flag.Uint64("seed", 2021, "replay schedule seed")
+		n        = flag.Int("n", 2000, "total queries")
+		workers  = flag.Int("workers", 8, "concurrent clients")
+		jsonOut  = flag.String("json", "", "write the benchmark document to this file")
+		p99Max   = flag.Duration("p99-max", 0, "fail if either transport's p99 exceeds this (0 = no gate)")
+	)
+	flag.Parse()
+	if *artifact == "" {
+		log.Fatal("-artifact is required")
+	}
+	if *httpBase == "" && *dnsAddr == "" {
+		log.Fatal("need -http and/or -dns to aim at")
+	}
+
+	cm, hash, err := serve.ReadFile(*artifact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix := serve.NewIndex(cm, 0, hash)
+	st := ix.Stats()
+
+	cfg := serve.LoadConfig{
+		Seed:     randx.Seed(*seed),
+		Queries:  *n,
+		Workers:  *workers,
+		Zone:     *zone,
+		HTTPBase: *httpBase,
+		DNSAddr:  *dnsAddr,
+	}
+	plan := serve.PlanLoad(ix, cfg)
+	log.Printf("replaying %d queries with %d workers (artifact %.12s: %d scopes, %d active /24s)",
+		len(plan.Queries), *workers, hash, st.Scopes, st.Active24s)
+
+	rep, err := serve.RunLoad(context.Background(), plan, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("total: %d queries in %.2fs = %.0f qps (%d errors)",
+		rep.Queries, rep.Wall, rep.TotalQPS, rep.Errors)
+	for _, t := range []struct {
+		name string
+		r    serve.TransportReport
+	}{{"http", rep.HTTP}, {"dns", rep.DNS}} {
+		if t.r.Queries == 0 {
+			continue
+		}
+		log.Printf("%s: %d queries, %.0f qps, p50 %dµs, p99 %dµs, %d errors",
+			t.name, t.r.Queries, t.r.QPS, t.r.P50Micro, t.r.P99Micro, t.r.Errors)
+	}
+
+	if *jsonOut != "" {
+		doc := benchDoc{
+			Benchmark: "cmd/loadgen replay against clientmapd",
+			Date:      time.Now().UTC().Format("2006-01-02"),
+			Host: benchHost{
+				Cores:      runtime.NumCPU(),
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+				Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			},
+			Artifact: benchArtifact{
+				Hash: hash, Seed: cm.Meta.Seed, Scale: cm.Meta.Scale,
+				Scopes: st.Scopes, Active24s: st.Active24s,
+			},
+			Config: benchConfig{Seed: *seed, Queries: *n, Workers: *workers},
+			Report: rep,
+		}
+		if cpu := cpuModel(); cpu != "" {
+			doc.Host.CPU = cpu
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+
+	if rep.Errors > 0 {
+		log.Fatalf("%d queries failed", rep.Errors)
+	}
+	if *p99Max > 0 {
+		lim := p99Max.Microseconds()
+		if (rep.HTTP.Queries > 0 && rep.HTTP.P99Micro > lim) ||
+			(rep.DNS.Queries > 0 && rep.DNS.P99Micro > lim) {
+			log.Fatalf("p99 over budget %v (http %dµs, dns %dµs)", *p99Max, rep.HTTP.P99Micro, rep.DNS.P99Micro)
+		}
+	}
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (best-effort,
+// Linux only).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range splitLines(string(data)) {
+		if name, ok := cutPrefixField(line, "model name"); ok {
+			return name
+		}
+	}
+	return ""
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+		if len(out) > 64 {
+			break
+		}
+	}
+	return out
+}
+
+func cutPrefixField(line, field string) (string, bool) {
+	if len(line) < len(field) || line[:len(field)] != field {
+		return "", false
+	}
+	rest := line[len(field):]
+	for len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':') {
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}

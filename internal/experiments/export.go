@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"clientmap/internal/serve"
+)
+
+// ClientMap compiles the run's results into the serving artifact
+// clientmapd loads: campaign evidence becomes scope evidence, the
+// RouteViews table becomes the origin map, and the Microsoft-clients
+// view's per-/24 request volume becomes the replay traffic model.
+//
+// The build is deterministic: the BuiltAt stamp is the sim clock's
+// final reading, not the wall clock, so the same (seed, scale) always
+// yields byte-identical artifacts — the property the golden serving
+// corpus and the snapshot dedup on hot reload both rely on.
+func (r *Results) ClientMap() *serve.ClientMap {
+	meta := serve.Meta{
+		Seed:   uint64(r.Cfg.Seed),
+		Scale:  r.Cfg.Scale.Name,
+		Passes: r.Campaign.Passes,
+		Source: "experiments",
+	}
+	if r.Sys != nil && r.Sys.Clock != nil {
+		meta.BuiltAt = r.Sys.Clock.Now().UTC()
+	}
+	in := serve.BuildInput{
+		Meta:     meta,
+		Campaign: r.Campaign,
+		RV:       r.RV,
+	}
+	if r.PfxMSClients != nil {
+		in.ClientVolume = r.PfxMSClients.Volume
+	}
+	return serve.Build(in)
+}

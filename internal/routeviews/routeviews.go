@@ -77,6 +77,13 @@ func (t *Table) ASNs() []uint32 {
 // Len returns the number of announcements.
 func (t *Table) Len() int { return t.trie.Len() }
 
+// Walk visits every announcement in address order (nested announcements
+// least-specific first) until fn returns false — the iteration the
+// serving-artifact export flattens the table with.
+func (t *Table) Walk(fn func(netx.Prefix, uint32) bool) {
+	t.trie.Walk(fn)
+}
+
 // Save writes the table in the prefix2as text format:
 // "address<TAB>length<TAB>asn", one announcement per line.
 func (t *Table) Save(w io.Writer) error {

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+)
+
+// Cache is the sharded response cache in front of the lookup path. It
+// stores final response bytes keyed by (generation, query key): entries
+// from an older generation never answer a newer index (lookups compare
+// generations and treat mismatches as misses), so a hot reload
+// implicitly invalidates the whole cache without a stop-the-world sweep.
+// Stale entries are overwritten in place on the next store of their key.
+//
+// Each shard is a mutex-protected map with FIFO eviction bounded by
+// capacity — contention is spread by key hash across shards, and the hot
+// path inside the lock is one map operation.
+type Cache[V any] struct {
+	shards []cacheShard[V]
+	mask   uint64
+	cap    int
+}
+
+type cacheShard[V any] struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry[V]
+	// fifo is the insertion order ring; evictions pop from the front.
+	fifo []string
+}
+
+type cacheEntry[V any] struct {
+	gen uint64
+	val V
+}
+
+// NewCache returns a cache with the given shard count (rounded up to a
+// power of two, minimum 1) and per-shard entry capacity (minimum 1).
+func NewCache[V any](shards, capacity int) *Cache[V] {
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache[V]{shards: make([]cacheShard[V], n), mask: uint64(n - 1), cap: capacity}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry[V])
+	}
+	return c
+}
+
+// fnv64a matches the snapshot checksum's hash; keys are short, so the
+// byte loop beats importing hash/fnv's interface machinery.
+func cacheHash(key string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *cacheShard[V] {
+	return &c.shards[cacheHash(key)&c.mask]
+}
+
+// Get returns the cached response for key under gen. A hit from a
+// different generation is a miss. The returned value is the cached one;
+// callers must treat it as immutable.
+func (c *Cache[V]) Get(gen uint64, key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok || e.gen != gen {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Put stores val for key under gen, evicting the oldest entries of the
+// shard past capacity. The caller must not mutate val afterwards.
+func (c *Cache[V]) Put(gen uint64, key string, val V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[key]; !exists {
+		s.fifo = append(s.fifo, key)
+	}
+	s.m[key] = cacheEntry[V]{gen: gen, val: val}
+	for len(s.m) > c.cap {
+		victim := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		delete(s.m, victim)
+	}
+}
+
+// Len returns the total number of cached entries across shards.
+func (c *Cache[V]) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ShardLens returns each shard's entry count — the capacity property the
+// eviction tests assert on.
+func (c *Cache[V]) ShardLens() []int {
+	out := make([]int, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = len(s.m)
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"clientmap/internal/snapshot"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cm := testClientMap(t)
+	data, hash := Marshal(cm)
+	got, gotHash, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHash != hash {
+		t.Errorf("hash changed across roundtrip: %s vs %s", gotHash, hash)
+	}
+	if !reflect.DeepEqual(cm, got) {
+		t.Fatalf("roundtrip mismatch:\n in: %+v\nout: %+v", cm, got)
+	}
+}
+
+func TestCodecEmptyMap(t *testing.T) {
+	cm := &ClientMap{Meta: testMeta()}
+	data, _ := Marshal(cm)
+	got, _, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cm, got) {
+		t.Fatalf("empty-map roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	cm := testClientMap(t)
+	a, _ := Marshal(cm)
+	b, _ := Marshal(cm)
+	if string(a) != string(b) {
+		t.Fatal("same map marshalled to different bytes")
+	}
+}
+
+func TestCodecDetectsCorruption(t *testing.T) {
+	data, _ := Marshal(testClientMap(t))
+	for _, off := range []int{len(data) / 3, len(data) / 2, 2 * len(data) / 3} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		if _, _, err := Unmarshal(bad); err == nil {
+			t.Errorf("flipping byte %d went undetected", off)
+		}
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	data, _ := Marshal(testClientMap(t))
+	for _, n := range []int{0, 4, len(data) / 2, len(data) - 1} {
+		if _, _, err := Unmarshal(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestCodecRejectsWrongKind(t *testing.T) {
+	h := snapshot.Header{Kind: "serve.SomethingElse", Version: VersionClientMap}
+	data, _ := snapshot.Marshal(h, func(w *snapshot.Writer) { EncodeClientMap(w, testClientMap(t)) })
+	_, _, err := Unmarshal(data)
+	if err == nil {
+		t.Fatal("wrong artifact kind accepted")
+	}
+}
+
+func TestCodecRejectsInvalidDecodedMap(t *testing.T) {
+	// An artifact whose payload decodes but violates Validate (confidence
+	// out of range) must be rejected as corrupt, not served.
+	cm := testClientMap(t)
+	cm.Scopes[0].Confidence = 2.0
+	h := snapshot.Header{Kind: KindClientMap, Version: VersionClientMap}
+	data, _ := snapshot.Marshal(h, func(w *snapshot.Writer) { EncodeClientMap(w, cm) })
+	_, _, err := Unmarshal(data)
+	if !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("invalid map: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map.snap")
+	cm := testClientMap(t)
+	hash, err := WriteFile(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotHash, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHash != hash {
+		t.Errorf("hash mismatch: wrote %s, read %s", hash, gotHash)
+	}
+	if !reflect.DeepEqual(cm, got) {
+		t.Fatal("file roundtrip mismatch")
+	}
+	// Atomic write leaves no temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("stray files after WriteFile: %v", entries)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+)
+
+// DefaultZone is the DNS zone the daemon answers for, RBL-style: the /24
+// of IP a.b.c.d is queried as "d.c.b.a.clientmap." and an AS as
+// "<asn>.as.clientmap.".
+const DefaultZone = "clientmap"
+
+// ActiveA is the answer address for listed (active) names, following the
+// DNSBL convention of answering inside 127.0.0.0/8.
+var ActiveA = netx.AddrFrom4(127, 0, 0, 2)
+
+// DNSHandler answers clientmap queries over the dnsnet listeners. It is
+// constructed by the Daemon but usable standalone (the race and golden
+// tests drive it directly).
+type DNSHandler struct {
+	store  *Store
+	cache  *Cache[*dnswire.Message]
+	limits *Limiter
+	zone   string // canonical, no trailing dot
+	ttl    uint32
+	met    *serveMetrics
+}
+
+// ParseReverseName extracts the IPv4 address from an RBL-style reversed
+// name relative to zone (canonical form, e.g. "2.0.0.192.clientmap" with
+// zone "clientmap"). The name must be exactly four octet labels followed
+// by the zone; each label is 1-3 decimal digits, value ≤ 255, with no
+// leading zeros ("0" itself is fine) — the strictness keeps the mapping
+// bijective, so every valid name round-trips through FormatReverseName.
+func ParseReverseName(name, zone string) (netx.Addr, bool) {
+	rest, ok := strings.CutSuffix(name, "."+zone)
+	if !ok {
+		return 0, false
+	}
+	var octets [4]byte
+	for i := 3; i >= 0; i-- {
+		var label string
+		if i > 0 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, false
+			}
+			label, rest = rest[:dot], rest[dot+1:]
+		} else {
+			label = rest
+		}
+		v, ok := parseOctet(label)
+		if !ok {
+			return 0, false
+		}
+		// The first label parsed is the host octet d; walking i from 3
+		// down to 0 stores d.c.b.a back into a.b.c.d order.
+		octets[i] = v
+	}
+	return netx.AddrFrom4(octets[0], octets[1], octets[2], octets[3]), true
+}
+
+// parseOctet accepts exactly the canonical decimal form of 0-255.
+func parseOctet(s string) (byte, bool) {
+	if len(s) == 0 || len(s) > 3 {
+		return 0, false
+	}
+	if len(s) > 1 && s[0] == '0' {
+		return 0, false // leading zeros break bijectivity
+	}
+	v := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	if v > 255 {
+		return 0, false
+	}
+	return byte(v), true
+}
+
+// FormatReverseName renders the query name for a's /24-or-host activity
+// lookup: octets reversed, zone appended, no trailing dot.
+func FormatReverseName(a netx.Addr, zone string) string {
+	b0, b1, b2, b3 := a.Octets()
+	var buf [32]byte
+	b := strconv.AppendUint(buf[:0], uint64(b3), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(b2), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(b1), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(b0), 10)
+	b = append(b, '.')
+	b = append(b, zone...)
+	return string(b)
+}
+
+// ParseASName extracts the ASN from "<asn>.as.<zone>" (canonical form,
+// no leading zeros, 32-bit range).
+func ParseASName(name, zone string) (uint32, bool) {
+	rest, ok := strings.CutSuffix(name, ".as."+zone)
+	if !ok {
+		return 0, false
+	}
+	if len(rest) == 0 || len(rest) > 10 || (len(rest) > 1 && rest[0] == '0') {
+		return 0, false
+	}
+	v := uint64(0)
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	if v > 1<<32-1 {
+		return 0, false
+	}
+	return uint32(v), true
+}
+
+// FormatASName renders the query name for an AS activity lookup.
+func FormatASName(asn uint32, zone string) string {
+	return strconv.FormatUint(uint64(asn), 10) + ".as." + zone
+}
+
+// ServeDNS implements dnsnet.Handler. Responses are deterministic for a
+// given (index generation, query): cache hits return a shallow copy of
+// the immutable cached template with only the message ID rewritten, so
+// hot and cold responses marshal to identical wire bytes.
+func (h *DNSHandler) ServeDNS(ctx context.Context, from netx.Addr, query *dnswire.Message) *dnswire.Message {
+	if query.Response || query.Opcode != 0 || len(query.Questions) == 0 {
+		return refuse(query, dnswire.RCodeNotImp)
+	}
+	h.met.dnsQueries.Inc()
+	if h.limits != nil && !h.limits.Allow(from) {
+		h.met.dnsRateLimited.Inc()
+		return refuse(query, dnswire.RCodeRefused)
+	}
+	q := query.Question()
+	name := dnswire.CanonicalName(q.Name)
+	if name != h.zone && !strings.HasSuffix(name, "."+h.zone) {
+		return refuse(query, dnswire.RCodeRefused)
+	}
+	ix := h.store.Current()
+	if ix == nil {
+		return refuse(query, dnswire.RCodeServFail)
+	}
+
+	key := dnsCacheKey(q.Type, name)
+	if tmpl, ok := h.cache.Get(ix.Generation, key); ok {
+		h.met.dnsCacheHits.Inc()
+		return withID(tmpl, query.ID)
+	}
+	tmpl := h.answer(ix, name, q.Type)
+	h.cache.Put(ix.Generation, key, tmpl)
+	return withID(tmpl, query.ID)
+}
+
+func dnsCacheKey(t dnswire.Type, name string) string {
+	var buf [80]byte
+	b := append(buf[:0], 'd', '|')
+	b = strconv.AppendUint(b, uint64(t), 10)
+	b = append(b, '|')
+	b = append(b, name...)
+	return string(b)
+}
+
+// withID returns a shallow copy of the immutable template with the
+// query's ID — the read-only copy discipline dnswire.Message documents.
+func withID(tmpl *dnswire.Message, id uint16) *dnswire.Message {
+	m := *tmpl
+	m.ID = id
+	return &m
+}
+
+// refuse builds a minimal non-answer with the given rcode.
+func refuse(query *dnswire.Message, rc dnswire.RCode) *dnswire.Message {
+	r := query.Reply()
+	r.RCode = rc
+	return r
+}
+
+// answer builds the response template (ID 0) for a canonical in-zone
+// name. Everything below is a pure function of the index, so templates
+// are safely shared across queries of one generation.
+func (h *DNSHandler) answer(ix *Index, name string, qtype dnswire.Type) *dnswire.Message {
+	m := &dnswire.Message{Response: true, Authoritative: true}
+	m.Questions = append(m.Questions, dnswire.Question{Name: name, Type: qtype, Class: dnswire.ClassINET})
+
+	if name == h.zone {
+		if qtype == dnswire.TypeSOA {
+			m.Answers = append(m.Answers, h.soa())
+		} else {
+			m.Authority = append(m.Authority, h.soa())
+		}
+		return m
+	}
+	if asn, ok := ParseASName(name, h.zone); ok {
+		if a, found := ix.LookupAS(asn); found {
+			h.appendListed(m, name, qtype, asTXT(ix, a))
+		} else {
+			h.nxdomain(m)
+		}
+		return m
+	}
+	if addr, ok := ParseReverseName(name, h.zone); ok {
+		res := ix.LookupAddr(addr)
+		if res.Active {
+			h.appendListed(m, name, qtype, resultTXT(ix, res))
+		} else {
+			h.nxdomain(m)
+		}
+		return m
+	}
+	h.nxdomain(m)
+	return m
+}
+
+// appendListed fills the answer section for a listed (active) name: the
+// DNSBL A record for A queries, the evidence TXT for TXT queries, and a
+// NODATA response (empty answer, SOA authority) for other types.
+func (h *DNSHandler) appendListed(m *dnswire.Message, name string, qtype dnswire.Type, txt string) {
+	switch qtype {
+	case dnswire.TypeA:
+		m.Answers = append(m.Answers, dnswire.RR{
+			Name: name, Class: dnswire.ClassINET, TTL: h.ttl,
+			Data: dnswire.A{Addr: ActiveA},
+		})
+	case dnswire.TypeTXT:
+		m.Answers = append(m.Answers, dnswire.RR{
+			Name: name, Class: dnswire.ClassINET, TTL: h.ttl,
+			Data: dnswire.TXT{Strings: []string{txt}},
+		})
+	default:
+		m.Authority = append(m.Authority, h.soa())
+	}
+}
+
+func (h *DNSHandler) nxdomain(m *dnswire.Message) {
+	m.RCode = dnswire.RCodeNXDomain
+	m.Authority = append(m.Authority, h.soa())
+}
+
+// soa is the zone's fixed start-of-authority record; the serial is the
+// artifact generation so secondaries (and tests) can observe reloads.
+func (h *DNSHandler) soa() dnswire.RR {
+	serial := uint32(0)
+	if ix := h.store.Current(); ix != nil {
+		serial = uint32(ix.Generation)
+	}
+	return dnswire.RR{
+		Name: h.zone, Class: dnswire.ClassINET, TTL: h.ttl,
+		Data: dnswire.SOA{
+			MName: "ns." + h.zone, RName: "ops." + h.zone,
+			Serial: serial, Refresh: 3600, Retry: 600, Expire: 86400, Minimum: h.ttl,
+		},
+	}
+}
+
+// resultTXT renders the evidence string for an active /24, bounded to
+// one 255-byte TXT character-string (the PoP list is truncated, never
+// the claim itself).
+func resultTXT(ix *Index, res Result) string {
+	var b strings.Builder
+	b.WriteString("active=1 scope=")
+	b.WriteString(res.Scope.String())
+	e := res.Evidence
+	b.WriteString(" conf=")
+	b.WriteString(strconv.FormatFloat(e.Confidence, 'f', 4, 64))
+	b.WriteString(" passes=")
+	b.WriteString(strconv.Itoa(popCount(e.PassMask)))
+	b.WriteString("/")
+	b.WriteString(strconv.Itoa(ix.Meta.Passes))
+	b.WriteString(" hits=")
+	b.WriteString(strconv.Itoa(e.Hits))
+	if res.HasASN {
+		b.WriteString(" asn=")
+		b.WriteString(strconv.FormatUint(uint64(res.ASN), 10))
+	}
+	writePoPs(&b, e.PoPs)
+	writeGen(&b, ix)
+	return b.String()
+}
+
+// asTXT renders the evidence string for an active AS.
+func asTXT(ix *Index, a ASEvidence) string {
+	var b strings.Builder
+	b.WriteString("active=1 asn=")
+	b.WriteString(strconv.FormatUint(uint64(a.ASN), 10))
+	b.WriteString(" active24=")
+	b.WriteString(strconv.Itoa(a.Active24s))
+	b.WriteString(" announced24=")
+	b.WriteString(strconv.Itoa(a.Announced24s))
+	b.WriteString(" conf=")
+	b.WriteString(strconv.FormatFloat(a.Confidence, 'f', 4, 64))
+	writeGen(&b, ix)
+	return b.String()
+}
+
+// maxTXTPoPs bounds the PoP list so the TXT string stays within one
+// 255-byte character-string.
+const maxTXTPoPs = 4
+
+func writePoPs(b *strings.Builder, pops []PoPEvidence) {
+	if len(pops) == 0 {
+		return
+	}
+	b.WriteString(" pops=")
+	for i, p := range pops {
+		if i == maxTXTPoPs {
+			b.WriteString(";+")
+			b.WriteString(strconv.Itoa(len(pops) - maxTXTPoPs))
+			break
+		}
+		if i > 0 {
+			b.WriteString(";")
+		}
+		b.WriteString(p.PoP)
+		b.WriteString(":")
+		b.WriteString(strconv.Itoa(p.Hits))
+	}
+}
+
+func writeGen(b *strings.Builder, ix *Index) {
+	b.WriteString(" gen=")
+	b.WriteString(strconv.FormatUint(ix.Generation, 10))
+	b.WriteString(" artifact=")
+	b.WriteString(shortHash(ix.Hash))
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+func popCount(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask &= mask - 1
+		n++
+	}
+	return n
+}

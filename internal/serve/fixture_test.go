@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/netx"
+	"clientmap/internal/routeviews"
+)
+
+// mustPrefix parses p or fails the test.
+func mustPrefix(t testing.TB, s string) netx.Prefix {
+	t.Helper()
+	p, err := netx.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// testRV is the fixture's announced-space table:
+//
+//	AS64500: 192.0.2.0/24, 198.51.100.0/22
+//	AS64501: 203.0.113.0/24
+func testRV(t testing.TB) *routeviews.Table {
+	t.Helper()
+	rv := routeviews.New()
+	rv.Add(mustPrefix(t, "192.0.2.0/24"), 64500)
+	rv.Add(mustPrefix(t, "198.51.100.0/22"), 64500)
+	rv.Add(mustPrefix(t, "203.0.113.0/24"), 64501)
+	return rv
+}
+
+// testCampaign is a hand-built 4-pass campaign with hits at three
+// granularities: a /24 seen by two domains, a /23 (coarser than /24,
+// exercising the trie LPM path) and a /25 (finer than /24, exercising
+// the CoveredBy fallback).
+func testCampaign() *cacheprobe.Campaign {
+	p24, _ := netx.ParsePrefix("192.0.2.0/24")
+	p23, _ := netx.ParsePrefix("198.51.100.0/23")
+	p25, _ := netx.ParsePrefix("203.0.113.128/25")
+	return &cacheprobe.Campaign{
+		Passes: 4,
+		Hits: map[string]map[netx.Prefix]*cacheprobe.Hit{
+			"google.com": {
+				p24: {RespScope: p24, PoP: "fra", Domain: "google.com", Count: 5, PassMask: 0b1011},
+				p23: {RespScope: p23, PoP: "ams", Domain: "google.com", Count: 3, PassMask: 0b0001},
+			},
+			"wikipedia.org": {
+				p24: {RespScope: p24, PoP: "fra", Domain: "wikipedia.org", Count: 2, PassMask: 0b0100},
+				p25: {RespScope: p25, PoP: "iad", Domain: "wikipedia.org", Count: 1, PassMask: 0b0010},
+			},
+		},
+	}
+}
+
+// testVolume weights two active /24s and one inactive one (clients
+// exist in space the campaign missed — the load model should still
+// replay queries there).
+func testVolume() map[netx.Slash24]float64 {
+	a := netx.AddrFrom4(192, 0, 2, 0).Slash24()
+	b := netx.AddrFrom4(198, 51, 100, 0).Slash24()
+	c := netx.AddrFrom4(198, 18, 0, 0).Slash24()
+	return map[netx.Slash24]float64{a: 10, b: 5, c: 1}
+}
+
+// testMeta is the fixture artifact's provenance.
+func testMeta() Meta {
+	return Meta{
+		Seed:    99,
+		Scale:   "fixture",
+		Passes:  4,
+		BuiltAt: time.Date(2021, 9, 20, 0, 0, 0, 0, time.UTC),
+		Source:  "fixture_test",
+	}
+}
+
+// testClientMap builds the canonical fixture artifact.
+func testClientMap(t testing.TB) *ClientMap {
+	t.Helper()
+	cm := Build(BuildInput{
+		Meta:         testMeta(),
+		Campaign:     testCampaign(),
+		RV:           testRV(t),
+		ClientVolume: testVolume(),
+	})
+	if err := cm.Validate(); err != nil {
+		t.Fatalf("fixture map invalid: %v", err)
+	}
+	return cm
+}
+
+// testIndex compiles the fixture under generation 1.
+func testIndex(t testing.TB) *Index {
+	t.Helper()
+	cm := testClientMap(t)
+	_, hash := Marshal(cm)
+	return NewIndex(cm, 1, hash)
+}

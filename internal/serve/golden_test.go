@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clientmap/internal/dnswire"
+)
+
+// The checked-in golden serving corpus: the exact HTTP JSON bodies and
+// DNS wire bytes the daemon produces for a fixed query set over the
+// fixture artifact. Byte-identical pinning — a moved byte is a protocol
+// change every deployed client sees. Regenerate after an intentional
+// change with `make golden-update` and review the diff.
+const goldenServePath = "testdata/golden_serve.json"
+
+type goldenServe struct {
+	// HTTP maps request path to the exact response body.
+	HTTP map[string]string `json:"http"`
+	// DNS maps "name/qtype" to the hex-encoded response wire bytes
+	// (query ID fixed at 4242, so the bytes are fully deterministic).
+	DNS map[string]string `json:"dns"`
+}
+
+func goldenServeCorpus(t *testing.T) *goldenServe {
+	t.Helper()
+	got := &goldenServe{HTTP: map[string]string{}, DNS: map[string]string{}}
+
+	httpH := testHTTPHandler(t)
+	for _, path := range []string{
+		"/v1/ip/192.0.2.17",    // active /24, direct hit
+		"/v1/ip/198.51.100.9",  // active via the /23 scope
+		"/v1/ip/203.0.113.200", // active via the /25 scope
+		"/v1/ip/198.51.102.1",  // announced but inactive
+		"/v1/ip/8.8.8.8",       // unannounced
+		"/v1/as/64500",
+		"/v1/as/65000",
+		"/v1/summary",
+	} {
+		w := get(httpH, path)
+		got.HTTP[path] = w.Body.String()
+	}
+
+	dnsH, _ := testDNSHandler(t)
+	for _, q := range []struct {
+		name string
+		qt   dnswire.Type
+	}{
+		{"17.2.0.192.clientmap", dnswire.TypeA},
+		{"17.2.0.192.clientmap", dnswire.TypeTXT},
+		{"9.100.51.198.clientmap", dnswire.TypeA},
+		{"200.113.0.203.clientmap", dnswire.TypeTXT},
+		{"1.102.51.198.clientmap", dnswire.TypeA}, // NXDOMAIN + SOA
+		{"64500.as.clientmap", dnswire.TypeTXT},
+		{"clientmap", dnswire.TypeSOA},
+	} {
+		r := dnsH.ServeDNS(context.Background(), 0, dnswire.NewQuery(4242, q.name, q.qt))
+		wire, err := r.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.DNS[fmt.Sprintf("%s/%d", q.name, q.qt)] = hex.EncodeToString(wire)
+	}
+	return got
+}
+
+// TestGoldenServe pins the serving corpus byte-identically. Picked up by
+// `make golden-update` via the shared -run 'TestGolden' pattern.
+func TestGoldenServe(t *testing.T) {
+	got := goldenServeCorpus(t)
+
+	if os.Getenv("CLIENTMAP_UPDATE_GOLDEN") != "" {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenServePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenServePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenServePath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenServePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `make golden-update`)", err)
+	}
+	var want goldenServe
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for path, wantBody := range want.HTTP {
+		if got.HTTP[path] != wantBody {
+			t.Errorf("http %s drifted\n got: %s\nwant: %s", path, got.HTTP[path], wantBody)
+		}
+	}
+	for key, wantHex := range want.DNS {
+		if got.DNS[key] != wantHex {
+			t.Errorf("dns %s wire bytes drifted\n got: %s\nwant: %s", key, got.DNS[key], wantHex)
+		}
+	}
+	if len(got.HTTP) != len(want.HTTP) || len(got.DNS) != len(want.DNS) {
+		t.Errorf("corpus shape changed: http %d→%d dns %d→%d (regenerate with `make golden-update`)",
+			len(want.HTTP), len(got.HTTP), len(want.DNS), len(got.DNS))
+	}
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clientmap/internal/netx"
+)
+
+// HTTPHandler answers the JSON query API:
+//
+//	GET /v1/ip/<dotted-quad>   activity of the address's /24
+//	GET /v1/as/<asn>           activity aggregate of an AS
+//	GET /v1/summary            artifact shape + provenance
+//	GET /healthz               200 once an artifact is loaded, 503 before
+//
+// Response bodies are cached per (generation, path) and returned
+// byte-identically on hits — the property the cache tests pin.
+type HTTPHandler struct {
+	store  *Store
+	cache  *Cache[[]byte]
+	limits *Limiter
+	met    *serveMetrics
+}
+
+// IPResponse is the JSON body for /v1/ip.
+type IPResponse struct {
+	Query      string          `json:"query"`
+	Slash24    string          `json:"slash24"`
+	Active     bool            `json:"active"`
+	Scope      string          `json:"scope,omitempty"`
+	Confidence float64         `json:"confidence,omitempty"`
+	Passes     int             `json:"passes,omitempty"`
+	PassTotal  int             `json:"pass_total,omitempty"`
+	Hits       int             `json:"hits,omitempty"`
+	Domains    int             `json:"domains,omitempty"`
+	PoPs       []PoPEvidence   `json:"pops,omitempty"`
+	ASN        uint32          `json:"asn,omitempty"`
+	Provenance json.RawMessage `json:"provenance"`
+}
+
+// ASResponse is the JSON body for /v1/as.
+type ASResponse struct {
+	ASN          uint32          `json:"asn"`
+	Active       bool            `json:"active"`
+	Active24s    int             `json:"active_24s,omitempty"`
+	Announced24s int             `json:"announced_24s,omitempty"`
+	Confidence   float64         `json:"confidence,omitempty"`
+	Provenance   json.RawMessage `json:"provenance"`
+}
+
+// SummaryResponse is the JSON body for /v1/summary.
+type SummaryResponse struct {
+	Scopes      int             `json:"scopes"`
+	Active24s   int             `json:"active_24s"`
+	ActiveASes  int             `json:"active_ases"`
+	Origins     int             `json:"origins"`
+	TrafficBins int             `json:"traffic_bins"`
+	Seed        uint64          `json:"seed"`
+	Scale       string          `json:"scale"`
+	Passes      int             `json:"passes"`
+	Source      string          `json:"source,omitempty"`
+	Provenance  json.RawMessage `json:"provenance"`
+}
+
+// provenance is the generation/artifact pair every response embeds, so a
+// client (and the reload race test) can tell which load answered it.
+func provenance(ix *Index) json.RawMessage {
+	return json.RawMessage(`{"generation":` + strconv.FormatUint(ix.Generation, 10) +
+		`,"artifact":"` + shortHash(ix.Hash) + `"}`)
+}
+
+// errBody is the uniform JSON error shape.
+func errBody(code int, msg string) []byte {
+	b, _ := json.Marshal(map[string]any{"error": msg, "status": code})
+	return append(b, '\n')
+}
+
+func writeJSON(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// clientAddr derives the rate-limit key from the request's RemoteAddr.
+// Non-IPv4 peers (IPv6 loopback during tests) fold to a fixed key rather
+// than escaping the limiter.
+func clientAddr(r *http.Request) netx.Addr {
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	host = strings.Trim(host, "[]")
+	if a, ok := parseIPv4(host); ok {
+		return a
+	}
+	return netx.AddrFrom4(127, 0, 0, 1)
+}
+
+// parseIPv4 parses a canonical dotted quad with the same strictness as
+// the DNS reverse-name octets.
+func parseIPv4(s string) (netx.Addr, bool) {
+	var oct [4]byte
+	for i := 0; i < 4; i++ {
+		var label string
+		if i < 3 {
+			dot := strings.IndexByte(s, '.')
+			if dot < 0 {
+				return 0, false
+			}
+			label, s = s[:dot], s[dot+1:]
+		} else {
+			label = s
+		}
+		v, ok := parseOctet(label)
+		if !ok {
+			return 0, false
+		}
+		oct[i] = v
+	}
+	return netx.AddrFrom4(oct[0], oct[1], oct[2], oct[3]), true
+}
+
+// ServeHTTP implements http.Handler. Every response is a pure function
+// of (generation, method, path), which is exactly the cache key.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.met.httpQueries.Inc()
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody(http.StatusMethodNotAllowed, "GET only"))
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		if h.store.Current() == nil {
+			writeJSON(w, http.StatusServiceUnavailable, errBody(http.StatusServiceUnavailable, "no artifact loaded"))
+			return
+		}
+		writeJSON(w, http.StatusOK, []byte("{\"ok\":true}\n"))
+		return
+	}
+	if h.limits != nil && !h.limits.Allow(clientAddr(r)) {
+		h.met.httpRateLimited.Inc()
+		writeJSON(w, http.StatusTooManyRequests, errBody(http.StatusTooManyRequests, "rate limit exceeded"))
+		return
+	}
+	ix := h.store.Current()
+	if ix == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errBody(http.StatusServiceUnavailable, "no artifact loaded"))
+		return
+	}
+
+	key := "h|" + r.URL.Path
+	if body, ok := h.cache.Get(ix.Generation, key); ok {
+		h.met.httpCacheHits.Inc()
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	body, code := h.answer(ix, r.URL.Path)
+	if code == http.StatusOK {
+		h.cache.Put(ix.Generation, key, body)
+	}
+	writeJSON(w, code, body)
+}
+
+// answer builds the response body for a query path against one pinned
+// index. Errors are not cached (they are as cheap to rebuild as to look
+// up, and caching 404s for hostile random paths would churn the cache).
+func (h *HTTPHandler) answer(ix *Index, path string) ([]byte, int) {
+	switch {
+	case strings.HasPrefix(path, "/v1/ip/"):
+		return h.answerIP(ix, path[len("/v1/ip/"):])
+	case strings.HasPrefix(path, "/v1/as/"):
+		return h.answerAS(ix, path[len("/v1/as/"):])
+	case path == "/v1/summary":
+		return h.answerSummary(ix)
+	default:
+		return errBody(http.StatusNotFound, "unknown path"), http.StatusNotFound
+	}
+}
+
+func (h *HTTPHandler) answerIP(ix *Index, arg string) ([]byte, int) {
+	addr, ok := parseIPv4(arg)
+	if !ok {
+		return errBody(http.StatusBadRequest, "bad IPv4 address"), http.StatusBadRequest
+	}
+	res := ix.LookupAddr(addr)
+	resp := IPResponse{
+		Query:      arg,
+		Slash24:    res.Query.String(),
+		Active:     res.Active,
+		Provenance: provenance(ix),
+	}
+	if res.HasASN {
+		resp.ASN = res.ASN
+	}
+	if res.Active {
+		e := res.Evidence
+		resp.Scope = res.Scope.String()
+		resp.Confidence = e.Confidence
+		resp.Passes = popCount(e.PassMask)
+		resp.PassTotal = ix.Meta.Passes
+		resp.Hits = e.Hits
+		resp.Domains = e.Domains
+		resp.PoPs = e.PoPs
+	}
+	return marshalBody(resp), http.StatusOK
+}
+
+func (h *HTTPHandler) answerAS(ix *Index, arg string) ([]byte, int) {
+	if len(arg) == 0 || len(arg) > 10 || (len(arg) > 1 && arg[0] == '0') {
+		return errBody(http.StatusBadRequest, "bad ASN"), http.StatusBadRequest
+	}
+	v, err := strconv.ParseUint(arg, 10, 32)
+	if err != nil {
+		return errBody(http.StatusBadRequest, "bad ASN"), http.StatusBadRequest
+	}
+	asn := uint32(v)
+	resp := ASResponse{ASN: asn, Provenance: provenance(ix)}
+	if a, found := ix.LookupAS(asn); found {
+		resp.Active = true
+		resp.Active24s = a.Active24s
+		resp.Announced24s = a.Announced24s
+		resp.Confidence = a.Confidence
+	}
+	return marshalBody(resp), http.StatusOK
+}
+
+func (h *HTTPHandler) answerSummary(ix *Index) ([]byte, int) {
+	st := ix.Stats()
+	resp := SummaryResponse{
+		Scopes:      st.Scopes,
+		Active24s:   st.Active24s,
+		ActiveASes:  st.ActiveASes,
+		Origins:     st.Origins,
+		TrafficBins: st.TrafficBins,
+		Seed:        ix.Meta.Seed,
+		Scale:       ix.Meta.Scale,
+		Passes:      ix.Meta.Passes,
+		Source:      ix.Meta.Source,
+		Provenance:  provenance(ix),
+	}
+	return marshalBody(resp), http.StatusOK
+}
+
+// marshalBody renders v with a trailing newline. encoding/json is
+// deterministic for struct types, so bodies are byte-stable across
+// processes — the golden corpus depends on that.
+func marshalBody(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All response types marshal; reaching this is a bug.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// SortedASNs returns the index's active ASNs ascending — exported for
+// the load generator's AS query mix.
+func (ix *Index) SortedASNs() []uint32 {
+	out := make([]uint32, len(ix.asns))
+	copy(out, ix.asns)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

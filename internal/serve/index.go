@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"clientmap/internal/netx"
+)
+
+// Index is one ClientMap compiled into query-ready form. It is immutable
+// after NewIndex returns: the trie, bitmap and tables are built once and
+// only read afterwards, so concurrent lookups need no locks (netx.Trie
+// documents concurrent lookups without mutation as safe). The daemon
+// publishes an Index with an atomic pointer swap; queries in flight keep
+// whichever Index they started with.
+type Index struct {
+	// Generation is the store's monotonic load counter: 1 for the first
+	// artifact a daemon serves, +1 per hot reload. Every response carries
+	// it, which is how the reload race test proves no torn reads.
+	Generation uint64
+	// Hash is the artifact payload's content hash (its identity across
+	// daemons; generations are per-process, hashes are global).
+	Hash string
+	// Meta echoes the artifact's provenance.
+	Meta Meta
+
+	scopes []ScopeEvidence
+	trie   netx.Trie[int32] // scope prefix → index into scopes
+	upper  *netx.Set24      // every /24 under any hit scope
+	ases   map[uint32]ASEvidence
+	asns   []uint32 // sorted, for Summary
+
+	origins netx.Trie[uint32] // announced prefix → origin ASN
+
+	traffic []TrafficBin
+	cum     []float64 // cumulative traffic weights for replay sampling
+}
+
+// NewIndex compiles cm. The caller assigns the store generation; a bare
+// NewIndex(cm, 0, hash) is fine for tests and one-shot tools.
+func NewIndex(cm *ClientMap, generation uint64, hash string) *Index {
+	ix := &Index{
+		Generation: generation,
+		Hash:       hash,
+		Meta:       cm.Meta,
+		scopes:     cm.Scopes,
+		upper:      netx.NewSet24(),
+		ases:       make(map[uint32]ASEvidence, len(cm.ASes)),
+		asns:       make([]uint32, 0, len(cm.ASes)),
+		traffic:    cm.Traffic,
+	}
+	for i := range cm.Scopes {
+		e := &cm.Scopes[i]
+		ix.trie.Insert(e.Scope, int32(i))
+		ix.upper.AddPrefix(e.Scope)
+	}
+	for _, a := range cm.ASes {
+		ix.ases[a.ASN] = a
+		ix.asns = append(ix.asns, a.ASN)
+	}
+	for _, o := range cm.Origins {
+		ix.origins.Insert(o.Prefix, o.ASN)
+	}
+	ix.cum = make([]float64, len(cm.Traffic))
+	total := 0.0
+	for i, b := range cm.Traffic {
+		total += b.Weight
+		ix.cum[i] = total
+	}
+	return ix
+}
+
+// Result is the answer to a /24 (or single-address) activity query.
+type Result struct {
+	// Query is the /24 the lookup resolved to.
+	Query netx.Slash24
+	// Active reports whether the /24 lies under any hit scope.
+	Active bool
+	// Scope is the most specific hit scope containing the /24 (zero when
+	// inactive).
+	Scope netx.Prefix
+	// Evidence is the scope's aggregated evidence; nil when inactive.
+	Evidence *ScopeEvidence
+	// ASN is the origin AS of the /24 per the announced table; HasASN is
+	// false for unannounced space.
+	ASN    uint32
+	HasASN bool
+}
+
+// Lookup24 answers the activity question for one /24: membership via the
+// bitmap, then the most specific covering scope via the trie.
+func (ix *Index) Lookup24(p netx.Slash24) Result {
+	res := Result{Query: p}
+	res.ASN, _, res.HasASN = ix.origins.Lookup(p.Addr())
+	if !ix.upper.Contains(p) {
+		return res
+	}
+	// A /24 inside the upper set is under some hit scope; the trie's
+	// longest match on the network address names the most specific one.
+	// (A scope more specific than /24 matches via LookupPrefix on the
+	// containing /24.)
+	if i, _, ok := ix.trie.LookupPrefix(p.Prefix()); ok {
+		res.Active = true
+		res.Scope = ix.scopes[i].Scope
+		res.Evidence = &ix.scopes[i]
+		return res
+	}
+	// Scopes narrower than /24 (e.g. a /25 hit): any stored prefix inside
+	// this /24 is evidence for it.
+	ix.trie.CoveredBy(p.Prefix(), func(_ netx.Prefix, i int32) bool {
+		res.Active = true
+		res.Scope = ix.scopes[i].Scope
+		res.Evidence = &ix.scopes[i]
+		return false
+	})
+	return res
+}
+
+// LookupAddr answers for the /24 containing a.
+func (ix *Index) LookupAddr(a netx.Addr) Result { return ix.Lookup24(a.Slash24()) }
+
+// LookupAS returns the AS aggregate for asn.
+func (ix *Index) LookupAS(asn uint32) (ASEvidence, bool) {
+	a, ok := ix.ases[asn]
+	return a, ok
+}
+
+// Stats summarizes the index for the summary endpoint and logs.
+type Stats struct {
+	Scopes      int
+	Active24s   int
+	ActiveASes  int
+	Origins     int
+	TrafficBins int
+}
+
+// Stats returns the index's shape.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Scopes:      len(ix.scopes),
+		Active24s:   ix.upper.Len(),
+		ActiveASes:  len(ix.asns),
+		Origins:     ix.origins.Len(),
+		TrafficBins: len(ix.traffic),
+	}
+}
+
+// SampleTraffic maps u ∈ [0, 1) to a /24 drawn with probability
+// proportional to the artifact's traffic weights — the deterministic
+// replay draw the load generator uses. ok is false when the artifact
+// carries no traffic bins.
+func (ix *Index) SampleTraffic(u float64) (netx.Slash24, bool) {
+	n := len(ix.cum)
+	if n == 0 || ix.cum[n-1] <= 0 {
+		return 0, false
+	}
+	target := u * ix.cum[n-1]
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return ix.traffic[lo].Slash24, true
+}

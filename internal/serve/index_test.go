@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"clientmap/internal/netx"
+)
+
+func TestLookup24Active(t *testing.T) {
+	ix := testIndex(t)
+
+	// Direct /24 scope.
+	res := ix.LookupAddr(netx.AddrFrom4(192, 0, 2, 17))
+	if !res.Active || res.Scope.String() != "192.0.2.0/24" {
+		t.Fatalf("192.0.2.17 = %+v", res)
+	}
+	if res.Evidence == nil || res.Evidence.Hits != 7 {
+		t.Errorf("evidence = %+v", res.Evidence)
+	}
+	if !res.HasASN || res.ASN != 64500 {
+		t.Errorf("origin = %d (has %v), want AS64500", res.ASN, res.HasASN)
+	}
+
+	// Both /24s under the /23 scope resolve to it.
+	for _, a := range []netx.Addr{netx.AddrFrom4(198, 51, 100, 1), netx.AddrFrom4(198, 51, 101, 250)} {
+		res := ix.LookupAddr(a)
+		if !res.Active || res.Scope.String() != "198.51.100.0/23" {
+			t.Errorf("%v = %+v", a, res)
+		}
+	}
+
+	// The /25 scope answers for its containing /24 via the CoveredBy
+	// fallback — even for addresses in the other half of the /24.
+	for _, host := range []byte{1, 200} {
+		res := ix.LookupAddr(netx.AddrFrom4(203, 0, 113, host))
+		if !res.Active || res.Scope.String() != "203.0.113.128/25" {
+			t.Errorf("203.0.113.%d = %+v", host, res)
+		}
+	}
+}
+
+func TestLookup24Inactive(t *testing.T) {
+	ix := testIndex(t)
+
+	// Announced but never hit: inactive, but the origin is still known.
+	res := ix.LookupAddr(netx.AddrFrom4(198, 51, 102, 1))
+	if res.Active || res.Evidence != nil {
+		t.Fatalf("announced-inactive space = %+v", res)
+	}
+	if !res.HasASN || res.ASN != 64500 {
+		t.Errorf("origin lost for inactive space: %+v", res)
+	}
+
+	// Unannounced space: no activity, no origin.
+	res = ix.LookupAddr(netx.AddrFrom4(8, 8, 8, 8))
+	if res.Active || res.HasASN {
+		t.Fatalf("unannounced space = %+v", res)
+	}
+}
+
+func TestLookupAS(t *testing.T) {
+	ix := testIndex(t)
+	a, ok := ix.LookupAS(64500)
+	if !ok || a.Active24s != 3 || a.Announced24s != 5 {
+		t.Errorf("AS64500 = %+v (found %v)", a, ok)
+	}
+	if _, ok := ix.LookupAS(65000); ok {
+		t.Error("unknown AS reported active")
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	st := testIndex(t).Stats()
+	want := Stats{Scopes: 3, Active24s: 4, ActiveASes: 2, Origins: 3, TrafficBins: 3}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestSampleTraffic(t *testing.T) {
+	ix := testIndex(t)
+
+	// u=0 lands in the first (lowest-/24) bin; u→1 in the last.
+	first, ok := ix.SampleTraffic(0)
+	if !ok {
+		t.Fatal("no traffic bins")
+	}
+	last, _ := ix.SampleTraffic(0.999999)
+	if first >= last {
+		t.Errorf("sample order broken: first %v, last %v", first, last)
+	}
+
+	// Sampling is deterministic in u and respects the weights: with
+	// weights 10/5/1 over sorted bins, the heaviest /24 should draw a
+	// clear majority under uniform u.
+	counts := map[netx.Slash24]int{}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 4000; i++ {
+		p, ok := ix.SampleTraffic(r.Float64())
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		counts[p]++
+	}
+	heavy := netx.AddrFrom4(192, 0, 2, 0).Slash24()
+	if frac := float64(counts[heavy]) / 4000; frac < 0.55 || frac > 0.70 {
+		t.Errorf("heavy bin drew %.2f of samples, want ~10/16", frac)
+	}
+
+	// An index with no traffic reports ok=false.
+	empty := NewIndex(&ClientMap{Meta: testMeta()}, 1, "x")
+	if _, ok := empty.SampleTraffic(0.5); ok {
+		t.Error("empty index produced a traffic sample")
+	}
+}
+
+func TestSortedASNs(t *testing.T) {
+	asns := testIndex(t).SortedASNs()
+	if len(asns) != 2 || asns[0] != 64500 || asns[1] != 64501 {
+		t.Fatalf("SortedASNs = %v", asns)
+	}
+}
+
+func TestIndexConcurrentLookups(t *testing.T) {
+	// Smoke the lock-free claim under the race detector: many goroutines
+	// reading one index concurrently.
+	ix := testIndex(t)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				a := netx.Addr(r.Uint32())
+				ix.LookupAddr(a)
+				ix.LookupAS(uint32(r.Intn(70000)))
+				ix.SampleTraffic(r.Float64())
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/dnswire"
+	"clientmap/internal/netx"
+	"clientmap/internal/randx"
+)
+
+// LoadQuery is one planned query of the replay schedule.
+type LoadQuery struct {
+	// Transport is "http" or "dns".
+	Transport string
+	// Kind is "ip", "as" or "miss" (a query for space the artifact does
+	// not cover — real resolvers ask about plenty of inactive space).
+	Kind string
+	// Target is the /24 (ip/miss kinds) or zero.
+	Target netx.Slash24
+	// ASN is the AS (as kind) or zero.
+	ASN uint32
+}
+
+// LoadPlan is a deterministic replay schedule: the same (seed, index,
+// config) always yields the same query sequence, so two benchmark runs
+// measure the same work.
+type LoadPlan struct {
+	Queries []LoadQuery
+}
+
+// LoadConfig parameterizes PlanLoad and RunLoad.
+type LoadConfig struct {
+	// Seed keys the plan's random streams.
+	Seed randx.Seed
+	// Queries is the total query count (default 2000).
+	Queries int
+	// Workers is the concurrent client count (default 8).
+	Workers int
+	// DNSShare is the fraction of queries sent over DNS rather than HTTP
+	// (default 0.5).
+	DNSShare float64
+	// MissShare is the fraction of targets drawn outside the artifact's
+	// traffic model (default 0.2).
+	MissShare float64
+	// ASShare is the fraction of queries that ask about an AS rather
+	// than a /24 (default 0.1).
+	ASShare float64
+	// TXTShare is the fraction of DNS queries asking TXT instead of A
+	// (default 0.25).
+	TXTShare float64
+	// Zone is the DNS zone to query (default DefaultZone).
+	Zone string
+	// HTTPBase is the API base URL, e.g. "http://127.0.0.1:8053"
+	// (empty disables HTTP queries in RunLoad).
+	HTTPBase string
+	// DNSAddr is the DNS server "host:port" (empty disables DNS).
+	DNSAddr string
+	// Timeout bounds each query (default 5s).
+	Timeout time.Duration
+}
+
+func (c *LoadConfig) defaults() {
+	if c.Queries <= 0 {
+		c.Queries = 2000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.DNSShare <= 0 {
+		c.DNSShare = 0.5
+	}
+	if c.MissShare <= 0 {
+		c.MissShare = 0.2
+	}
+	if c.ASShare <= 0 {
+		c.ASShare = 0.1
+	}
+	if c.TXTShare <= 0 {
+		c.TXTShare = 0.25
+	}
+	if c.Zone == "" {
+		c.Zone = DefaultZone
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+}
+
+// PlanLoad builds the replay schedule against ix's world model: hit
+// targets are drawn from the artifact's client-traffic weights (the same
+// per-/24 volume model the campaign measured), misses uniformly from the
+// whole v4 space, AS queries from the artifact's active ASNs.
+func PlanLoad(ix *Index, cfg LoadConfig) *LoadPlan {
+	cfg.defaults()
+	mix := cfg.Seed.New("loadgen/mix")
+	targets := cfg.Seed.New("loadgen/targets")
+	asns := ix.SortedASNs()
+	plan := &LoadPlan{Queries: make([]LoadQuery, 0, cfg.Queries)}
+	for i := 0; i < cfg.Queries; i++ {
+		q := LoadQuery{Transport: "http"}
+		if mix.Bool(cfg.DNSShare) {
+			q.Transport = "dns"
+		}
+		switch {
+		case len(asns) > 0 && mix.Bool(cfg.ASShare):
+			q.Kind = "as"
+			q.ASN = asns[targets.Intn(len(asns))]
+		case mix.Bool(cfg.MissShare):
+			q.Kind = "miss"
+			q.Target = netx.Slash24(targets.Uint32() >> 8)
+		default:
+			q.Kind = "ip"
+			if t, ok := ix.SampleTraffic(targets.Float64()); ok {
+				q.Target = t
+			} else {
+				q.Kind = "miss"
+				q.Target = netx.Slash24(targets.Uint32() >> 8)
+			}
+		}
+		plan.Queries = append(plan.Queries, q)
+	}
+	return plan
+}
+
+// TransportReport aggregates one transport's measurements.
+type TransportReport struct {
+	Queries  int     `json:"queries"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Micro int64   `json:"p50_us"`
+	P99Micro int64   `json:"p99_us"`
+}
+
+// LoadReport is the benchmark output RunLoad returns and cmd/loadgen
+// writes to BENCH_serve.json.
+type LoadReport struct {
+	Queries  int             `json:"queries"`
+	Errors   int             `json:"errors"`
+	Wall     float64         `json:"wall_seconds"`
+	TotalQPS float64         `json:"total_qps"`
+	HTTP     TransportReport `json:"http"`
+	DNS      TransportReport `json:"dns"`
+}
+
+type loadSample struct {
+	transport string
+	latency   time.Duration
+	err       bool
+}
+
+// RunLoad replays plan against the configured endpoints with
+// cfg.Workers concurrent clients and reports throughput/latency. The
+// plan is deterministic; wall-clock results of course are not.
+func RunLoad(ctx context.Context, plan *LoadPlan, cfg LoadConfig) (*LoadReport, error) {
+	cfg.defaults()
+	if cfg.HTTPBase == "" && cfg.DNSAddr == "" {
+		return nil, fmt.Errorf("serve: loadgen needs an HTTP base or DNS address")
+	}
+
+	// Queries a disabled transport can't carry fold onto the other one.
+	queries := make([]LoadQuery, len(plan.Queries))
+	copy(queries, plan.Queries)
+	for i := range queries {
+		if queries[i].Transport == "dns" && cfg.DNSAddr == "" {
+			queries[i].Transport = "http"
+		}
+		if queries[i].Transport == "http" && cfg.HTTPBase == "" {
+			queries[i].Transport = "dns"
+		}
+	}
+
+	httpc := &http.Client{Timeout: cfg.Timeout}
+	samples := make([]loadSample, len(queries))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			udp := &dnsnet.UDPClient{Timeout: cfg.Timeout}
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) || ctx.Err() != nil {
+					return
+				}
+				samples[i] = runOne(ctx, httpc, udp, queries[i], uint16(i+1), cfg)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return reduce(samples, wall), nil
+}
+
+func runOne(ctx context.Context, httpc *http.Client, udp *dnsnet.UDPClient, q LoadQuery, id uint16, cfg LoadConfig) loadSample {
+	s := loadSample{transport: q.Transport}
+	t0 := time.Now()
+	switch q.Transport {
+	case "http":
+		var url string
+		if q.Kind == "as" {
+			url = fmt.Sprintf("%s/v1/as/%d", cfg.HTTPBase, q.ASN)
+		} else {
+			url = cfg.HTTPBase + "/v1/ip/" + q.Target.AddrAt(1).String()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			s.err = true
+			break
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			s.err = true
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			s.err = true
+		}
+	case "dns":
+		var name string
+		qtype := dnswire.TypeA
+		if q.Kind == "as" {
+			name = FormatASName(q.ASN, cfg.Zone)
+		} else {
+			name = FormatReverseName(q.Target.AddrAt(1), cfg.Zone)
+		}
+		if cfg.TXTShare > 0 && int(id)%4 == 0 {
+			qtype = dnswire.TypeTXT
+		}
+		resp, err := udp.Exchange(ctx, cfg.DNSAddr, dnswire.NewQuery(id, name, qtype))
+		// NXDOMAIN is a correct answer for misses; transport or REFUSED
+		// failures are the errors a load test should count.
+		if err != nil || (resp.RCode != dnswire.RCodeSuccess && resp.RCode != dnswire.RCodeNXDomain) {
+			s.err = true
+		}
+	}
+	s.latency = time.Since(t0)
+	return s
+}
+
+func reduce(samples []loadSample, wall time.Duration) *LoadReport {
+	rep := &LoadReport{Queries: len(samples), Wall: wall.Seconds()}
+	if wall > 0 {
+		rep.TotalQPS = float64(len(samples)) / wall.Seconds()
+	}
+	var httpLat, dnsLat []time.Duration
+	for _, s := range samples {
+		switch s.transport {
+		case "http":
+			rep.HTTP.Queries++
+			if s.err {
+				rep.HTTP.Errors++
+			} else {
+				httpLat = append(httpLat, s.latency)
+			}
+		case "dns":
+			rep.DNS.Queries++
+			if s.err {
+				rep.DNS.Errors++
+			} else {
+				dnsLat = append(dnsLat, s.latency)
+			}
+		}
+	}
+	rep.Errors = rep.HTTP.Errors + rep.DNS.Errors
+	fill := func(t *TransportReport, lat []time.Duration) {
+		if wall > 0 {
+			t.QPS = float64(t.Queries) / wall.Seconds()
+		}
+		if len(lat) == 0 {
+			return
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		t.P50Micro = lat[len(lat)/2].Microseconds()
+		t.P99Micro = lat[percentileIndex(len(lat), 99)].Microseconds()
+	}
+	fill(&rep.HTTP, httpLat)
+	fill(&rep.DNS, dnsLat)
+	return rep
+}
+
+// percentileIndex returns the index of the p-th percentile in a sorted
+// slice of n samples (nearest-rank).
+func percentileIndex(n, p int) int {
+	i := (n*p+99)/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

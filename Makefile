@@ -4,15 +4,16 @@ GO ?= go
 
 # Packages whose coverage is gated in CI: the wire/transport layer, the
 # measurement cores, the stage runner, the snapshot codecs, the metrics
-# registry and the degradation layer, where an untested branch is a
-# silently wrong result.
-COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/snapshot/... ./internal/metrics/... ./internal/health/... ./internal/serve/...
+# registry, the degradation layer, and the simulated world + traffic
+# models, where an untested branch is a silently wrong result.
+COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/snapshot/... ./internal/metrics/... ./internal/health/... ./internal/serve/... ./internal/world/... ./internal/traffic/...
 COVER_FLOOR = 70
 # The metrics registry, the health layer, the snapshot codecs, the
-# stage runner and the serving layer back the determinism guarantees of
-# every exported ledger, every breaker/failover decision, every
-# shard/delta checkpoint and every answer handed to a client, so they
-# carry a higher floor.
+# stage runner, the serving layer, and the world/traffic substrate back
+# the determinism guarantees of every exported ledger, every
+# breaker/failover decision, every shard/delta checkpoint, every answer
+# handed to a client and every downstream measurement, so they carry a
+# higher floor.
 COVER_FLOOR_METRICS = 80
 
 build:
@@ -49,7 +50,7 @@ cover:
 	awk -v floor=$(COVER_FLOOR) -v mfloor=$(COVER_FLOOR_METRICS) ' \
 		{ print } \
 		/coverage:/ { \
-			f = floor; if ($$2 ~ /internal\/(metrics|health|snapshot|pipeline|serve)/) f = mfloor; \
+			f = floor; if ($$2 ~ /internal\/(metrics|health|snapshot|pipeline|serve|world|traffic)/) f = mfloor; \
 			pct = $$5; sub(/%.*/, "", pct); \
 			if (pct + 0 < f) { bad = 1; print "FAIL: " $$2 " below " f "% floor" } \
 		} \
@@ -62,14 +63,17 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTCP -fuzztime=10s ./internal/dnswire
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/health
+	$(GO) test -run='^$$' -fuzz=FuzzChurnParse -fuzztime=10s ./internal/churn
 	$(GO) test -run='^$$' -fuzz=FuzzReverseName -fuzztime=10s ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzHTTPQuery -fuzztime=10s ./internal/serve
 
 # golden-update regenerates the golden regression corpus (the headline
-# statistics of a fixed small-scale campaign, plus the degraded-mode
-# stats of the same campaign under the chaos matrix). Run after an
-# intentional behaviour change and review the diff: every moved number is
-# a semantic change to the reproduction.
+# statistics of a fixed small-scale campaign, the degraded-mode stats of
+# the same campaign under the chaos matrix, and the streaming corpus:
+# rolling-view headline stats plus the coverage-lag table of a fixed
+# 24-sim-hour churn scenario). Run after an intentional behaviour change
+# and review the diff: every moved number is a semantic change to the
+# reproduction.
 golden-update:
 	CLIENTMAP_UPDATE_GOLDEN=1 $(GO) test -count=1 -run 'TestGolden' ./internal/experiments/ ./internal/serve/
 

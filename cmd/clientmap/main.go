@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"clientmap"
+	"clientmap/internal/churn"
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/faults"
 	"clientmap/internal/health"
@@ -35,6 +36,42 @@ func validateReliabilityFlags(faultSpec, retrySpec, healthSpec string) error {
 	}
 	if _, err := health.Parse(healthSpec); err != nil {
 		return fmt.Errorf("-health: %w", err)
+	}
+	return nil
+}
+
+// validateStreamFlags rejects impossible streaming-mode combinations:
+// -churn/-emit-every/-artifact only mean something in stream mode, and
+// streaming is incompatible with pass sharding (hours are the checkpoint
+// unit) and the health layer (the adaptive scheduler owns PoP liveness).
+func validateStreamFlags(streamHours, emitEvery int, churnSpec, healthSpec, artifact string, shards, shardIndex int) error {
+	ch, err := churn.Parse(churnSpec)
+	if err != nil {
+		return fmt.Errorf("-churn: %w", err)
+	}
+	if streamHours < 0 {
+		return fmt.Errorf("-stream must be non-negative, got %d", streamHours)
+	}
+	if streamHours == 0 {
+		if ch.Enabled() {
+			return fmt.Errorf("-churn requires -stream")
+		}
+		if emitEvery != 0 {
+			return fmt.Errorf("-emit-every requires -stream")
+		}
+		if artifact != "" {
+			return fmt.Errorf("-artifact requires -stream")
+		}
+		return nil
+	}
+	if emitEvery < 0 {
+		return fmt.Errorf("-emit-every must be non-negative, got %d", emitEvery)
+	}
+	if shards > 1 || shardIndex >= 0 {
+		return fmt.Errorf("-stream is incompatible with -shards/-shard-index: hours are the checkpoint unit")
+	}
+	if hc, err := health.Parse(healthSpec); err == nil && hc.Enabled() {
+		return fmt.Errorf("-stream is incompatible with -health: the adaptive scheduler owns PoP liveness")
 	}
 	return nil
 }
@@ -82,6 +119,10 @@ func main() {
 		headline   = flag.Bool("headline", false, "print paper-vs-measured headline statistics")
 		metricsTo  = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
 		debugAddr  = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. "localhost:6060") for the run's duration`)
+		streamH    = flag.Int("stream", 0, "continuous measurement mode: stream for this many simulated hours instead of running the batch evaluation")
+		churnSpec  = flag.String("churn", "", `evolve the world while streaming, e.g. "realloc=3@5h,drift=0.15@9h,pop=fra@6h+5h,chromium=off@12h" (empty or "off" = static world)`)
+		emitEvery  = flag.Int("emit-every", 0, "emit the rolling serving artifact every N simulated hours (0 = every hour; stream mode only)")
+		artifact   = flag.String("artifact", "", "write the rolling serving artifact (what clientmapd -reload watches) to this file on every emit hour (stream mode only)")
 	)
 	flag.Parse()
 
@@ -93,6 +134,41 @@ func main() {
 	}
 	if err := validateShardFlags(*shards, *shardIndex, *stateDir); err != nil {
 		log.Fatal(err)
+	}
+	if err := validateStreamFlags(*streamH, *emitEvery, *churnSpec, *healthSpec, *artifact, *shards, *shardIndex); err != nil {
+		log.Fatal(err)
+	}
+
+	if *streamH > 0 {
+		if *prefix != "" || *asn != 0 || *report || *coverage || *headline || *degJSON != "" {
+			log.Fatal("-stream is incompatible with the batch-evaluation queries (-prefix, -asn, -report, -coverage, -headline, -degradation-json)")
+		}
+		scfg := clientmap.StreamConfig{
+			Seed: *seed, Scale: *scale, Hours: *streamH, Churn: *churnSpec,
+			EmitEvery: *emitEvery, ArtifactPath: *artifact,
+			Faults: *faultSpec, Retries: *retrySpec,
+			Workers: *workers, StateDir: *stateDir, Resume: *resume,
+		}
+		if *stateDir != "" {
+			scfg.Log = log.Printf
+		}
+		run, err := clientmap.RunStream(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(run.ReportText())
+		if *artifact != "" {
+			log.Printf("rolling artifact %s (payload %.12s)", *artifact, run.FinalArtifactHash())
+		}
+		if *metricsTo != "" {
+			b := run.MetricsJSON()
+			if *metricsTo == "-" {
+				os.Stdout.Write(b)
+			} else if err := os.WriteFile(*metricsTo, b, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
 	}
 	ccfg := clientmap.Config{Seed: *seed, Scale: *scale, Workers: *workers, StateDir: *stateDir, Resume: *resume,
 		Shards: *shards, ShardIndex: *shardIndex, ShardDir: *shardDir,

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"clientmap/internal/churn"
 	"clientmap/internal/core/cacheprobe"
 	"clientmap/internal/experiments"
 	"clientmap/internal/faults"
@@ -44,6 +45,40 @@ func parseReliability(faultSpec, retrySpec, healthSpec string) (faults.Config, c
 		return faults.Config{}, cacheprobe.Retry{}, health.Config{}, fmt.Errorf("-health: %w", err)
 	}
 	return fc, rc, hc, nil
+}
+
+// validateStreamFlags rejects impossible streaming-mode combinations
+// before the run starts. -churn and -emit-every only mean something in
+// stream mode, and streaming is incompatible with pass sharding (hours
+// are the checkpoint unit, not shards) and the health layer (the
+// adaptive scheduler owns PoP liveness).
+func validateStreamFlags(streamHours, emitEvery int, churnSpec, healthSpec string, shards, shardIndex int) (churn.Config, error) {
+	ch, err := churn.Parse(churnSpec)
+	if err != nil {
+		return churn.Config{}, fmt.Errorf("-churn: %w", err)
+	}
+	if streamHours < 0 {
+		return churn.Config{}, fmt.Errorf("-stream must be non-negative, got %d", streamHours)
+	}
+	if streamHours == 0 {
+		if ch.Enabled() {
+			return churn.Config{}, fmt.Errorf("-churn requires -stream")
+		}
+		if emitEvery != 0 {
+			return churn.Config{}, fmt.Errorf("-emit-every requires -stream")
+		}
+		return ch, nil
+	}
+	if emitEvery < 0 {
+		return churn.Config{}, fmt.Errorf("-emit-every must be non-negative, got %d", emitEvery)
+	}
+	if shards > 1 || shardIndex >= 0 {
+		return churn.Config{}, fmt.Errorf("-stream is incompatible with -shards/-shard-index: hours are the checkpoint unit")
+	}
+	if hc, err := health.Parse(healthSpec); err == nil && hc.Enabled() {
+		return churn.Config{}, fmt.Errorf("-stream is incompatible with -health: the adaptive scheduler owns PoP liveness")
+	}
+	return ch, nil
 }
 
 // validateShardFlags rejects impossible -shards/-shard-index/-state-dir
@@ -91,6 +126,9 @@ func main() {
 		metricsTo  = flag.String("metrics-json", "", `write the deterministic metrics ledger as JSON to this file ("-" = stdout)`)
 		debugAddr  = flag.String("debug-addr", "", `serve /metrics, /debug/vars and /debug/pprof/ on this address for the run's duration`)
 		serveOut   = flag.String("serve-artifact", "", "export the serving artifact (serve.ClientMap snapshot) for clientmapd to this file")
+		streamH    = flag.Int("stream", 0, "continuous measurement mode: stream for this many simulated hours instead of running the batch evaluation")
+		churnSpec  = flag.String("churn", "", `evolve the world while streaming, e.g. "realloc=3@5h,drift=0.15@9h,pop=fra@6h+5h,chromium=off@12h" (empty or "off" = static world)`)
+		emitEvery  = flag.Int("emit-every", 0, "emit the rolling serving artifact every N simulated hours (0 = every hour; stream mode only)")
 	)
 	flag.Parse()
 
@@ -126,6 +164,10 @@ func main() {
 	if cfg.Faults, cfg.Retry, cfg.Health, err = parseReliability(*faultSpec, *retrySpec, *healthSpec); err != nil {
 		log.Fatal(err)
 	}
+	ch, err := validateStreamFlags(*streamH, *emitEvery, *churnSpec, *healthSpec, *shards, *shardIndex)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg.Metrics = metrics.NewRegistry()
 	if *debugAddr != "" {
 		srv, err := metrics.ServeDebug(*debugAddr, cfg.Metrics)
@@ -134,6 +176,28 @@ func main() {
 		}
 		defer srv.Close()
 		log.Printf("debug server listening on %s", srv.Addr())
+	}
+
+	if *streamH > 0 {
+		if *out != "" || *csvDir != "" || *relJSON != "" || *degJSON != "" {
+			log.Fatal("-stream is incompatible with the batch-evaluation outputs (-out, -csvdir, -reliability-json, -degradation-json)")
+		}
+		runStream(experiments.StreamConfig{
+			Seed:         randx.Seed(*seed),
+			Scale:        sc,
+			Hours:        *streamH,
+			EmitEvery:    *emitEvery,
+			Churn:        ch,
+			Faults:       cfg.Faults,
+			Retry:        cfg.Retry,
+			Workers:      *workers,
+			ArtifactPath: *serveOut,
+			StateDir:     *stateDir,
+			Resume:       *resume,
+			Log:          cfg.Log,
+			Metrics:      cfg.Metrics,
+		}, *scale, *metricsTo)
+		return
 	}
 
 	start := time.Now()
@@ -198,6 +262,37 @@ func main() {
 			log.Fatal(err)
 		} else {
 			log.Printf("wrote %s", *metricsTo)
+		}
+	}
+}
+
+// runStream executes the continuous measurement mode and prints its
+// coverage-lag report; the rolling artifact (if -serve-artifact is set)
+// was already written hour by hour.
+func runStream(scfg experiments.StreamConfig, scale, metricsTo string) {
+	start := time.Now()
+	log.Printf("streaming %d sim-hours (scale=%s seed=%d churn=%s)...",
+		scfg.Hours, scale, scfg.Seed, scfg.Churn.String())
+	res, err := experiments.RunStream(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done in %v: %d probes sent across %d hourly passes",
+		time.Since(start), res.Campaign.ProbesSent, res.Cfg.Hours)
+	fmt.Print(res.Report.Render())
+	if scfg.ArtifactPath != "" && res.FinalMap != nil {
+		st := serve.NewIndex(res.FinalMap, 0, res.FinalHash).Stats()
+		log.Printf("rolling artifact %s (%d scopes, %d active /24s, %d ASes, payload %.12s)",
+			scfg.ArtifactPath, st.Scopes, st.Active24s, st.ActiveASes, res.FinalHash)
+	}
+	if metricsTo != "" {
+		b := res.MetricsJSON()
+		if metricsTo == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(metricsTo, b, 0o644); err != nil {
+			log.Fatal(err)
+		} else {
+			log.Printf("wrote %s", metricsTo)
 		}
 	}
 }
@@ -285,6 +380,27 @@ corpus and the diff is reviewed. The campaign's instrumentation ledger
 (` + "`-metrics-json`" + `) is byte-deterministic across worker counts and
 kill/resume, so measured values here are exactly reproducible, not
 merely statistically stable.
+
+## Continuous measurement (streaming mode)
+
+Beyond the batch evaluation above, ` + "`-stream N`" + ` runs the continuous
+measurement mode for N simulated hours over a world that ` + "`-churn`" + `
+evolves underneath it — prefix re-allocations, resolver-share drift,
+diurnal shifts, PoP withdraw/announce windows, and a Chromium-probe
+deprecation that starves the DNS-logs technique:
+
+	go run ./cmd/experiments -scale tiny -seed 2021 -stream 24 \
+	    -churn "realloc=3@5h,drift=0.15@9h,pop=fra@6h+5h,chromium=off@12h" \
+	    -serve-artifact map.snap
+
+Evidence decays on a TTL, an adaptive scheduler re-probes what flipped
+or is about to decay out, and the rolling artifact re-exports every
+emit hour for ` + "`clientmapd -reload`" + `. The end-of-run report prints the
+coverage-lag table (sim-hours from each world event to the first
+rolling map reflecting it) and quantifies the deprecation's coverage
+loss. The golden scenario is pinned by
+` + "`internal/experiments/testdata/golden_stream.json`" + ` (headline stats and
+the full lag table, asserted by ` + "`TestGoldenStream`" + `); see DESIGN.md §15.
 
 ## Measured tables
 

@@ -1,0 +1,75 @@
+package churn
+
+import "testing"
+
+// FuzzChurnParse throws arbitrary spec strings at the -churn grammar.
+// The contract under fuzz mirrors the faults/health suites: malformed
+// specs return an error (never panic), accepted specs always satisfy
+// Validate, the canonical rendering is a String fixpoint, and re-parsing
+// the canonical form reproduces the Config exactly — so specs, stage
+// fingerprints and checkpoint invalidation all agree on one form.
+func FuzzChurnParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"off",
+		"realloc=4@6h",
+		"drift=0.1@12h",
+		"diurnal=0.2@8h",
+		"pop=fra@3h+6h",
+		"chromium=off@12h",
+		"realloc=4@6h,drift=0.1@12h,pop=fra@3h+6h,chromium=off@12h",
+		"pop=fra@0s+1h,pop=fra@2h+1h,pop=lhr@0s+3h",
+		"realloc=0@5h",
+		"drift=0@1h,diurnal=0@1h",
+		"realloc=-1@6h",
+		"realloc=4@-6h",
+		"drift=NaN@1h",
+		"diurnal=1.5@1h",
+		"pop=@1h+1h",
+		"pop=fra@1h",
+		"pop=fra@1h+0s",
+		"chromium=on@1h",
+		"chromium=off",
+		"=",
+		",",
+		"realloc",
+		"unknown=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := Parse(spec)
+		if err != nil {
+			return // rejected cleanly; nothing more to check
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid config: %v", spec, err)
+		}
+		canon := c.String()
+		c2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if got := c2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q → %q → %q", spec, canon, got)
+		}
+		if !configEqual(c, c2) {
+			t.Fatalf("Parse(String(c)) != c: %q → %+v vs %+v", spec, c, c2)
+		}
+	})
+}
+
+// configEqual compares configs structurally (slices prevent ==).
+func configEqual(a, b Config) bool {
+	if a.Realloc != b.Realloc || a.Drift != b.Drift || a.Diurnal != b.Diurnal ||
+		a.ChromiumOff != b.ChromiumOff || a.ChromiumOffAt != b.ChromiumOffAt ||
+		len(a.PoPs) != len(b.PoPs) {
+		return false
+	}
+	for i := range a.PoPs {
+		if a.PoPs[i] != b.PoPs[i] {
+			return false
+		}
+	}
+	return true
+}

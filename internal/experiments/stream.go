@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"clientmap/internal/churn"
+	"clientmap/internal/clockx"
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/faults"
+	"clientmap/internal/metrics"
+	"clientmap/internal/pipeline"
+	"clientmap/internal/randx"
+	"clientmap/internal/serve"
+	"clientmap/internal/sim"
+	"clientmap/internal/snapshot"
+	"clientmap/internal/stream"
+	"clientmap/internal/world"
+)
+
+// StageStreamHour is the per-hour checkpoint stage name prefix of the
+// streaming mode: hour k checkpoints as "stream-hour-<k>".
+const StageStreamHour = "stream-hour-"
+
+// StageStreamFinish closes the streaming campaign.
+const StageStreamFinish = "stream-finish"
+
+// StreamHourStage returns the checkpoint stage name of streaming hour k
+// — handy for StreamConfig.StopAfter in kill/resume tests.
+func StreamHourStage(k int) string { return fmt.Sprintf("%s%d", StageStreamHour, k) }
+
+// StreamConfig parameterizes a continuous-measurement run: probing never
+// "finishes", it loops hour by hour over a churning world, decaying old
+// evidence and emitting a rolling serving artifact.
+type StreamConfig struct {
+	Seed  randx.Seed
+	Scale world.Scale
+	// Hours is the simulated stream length (each hour is one adaptive
+	// probing pass plus one DNS-logs tick).
+	Hours int
+	// TTLHours / BudgetFrac / FlipWindow / DecayMargin / EmitEvery tune
+	// the decay scheduler; zero values take stream defaults.
+	TTLHours    int
+	BudgetFrac  float64
+	FlipWindow  int
+	DecayMargin int
+	EmitEvery   int
+	// Churn drives the world's evolution; the event seed is keyed to
+	// Seed. The zero value streams over a static world.
+	Churn churn.Config
+	// Faults / Retry are the campaign reliability knobs, as in Config.
+	// Health-layer failover stays off in stream mode: the scheduler owns
+	// PoP liveness (withdrawn PoPs get zero budget), and hit→PoP
+	// attribution must stay exact for the decay ledger.
+	Faults faults.Config
+	Retry  cacheprobe.Retry
+	// Workers bounds probe concurrency; results are worker-independent.
+	Workers int
+	// ArtifactPath, when set, receives the rolling serve.ClientMap on
+	// every emit hour (atomic replace, deduped by payload hash) — the
+	// file clientmapd -reload watches.
+	ArtifactPath string
+
+	// StateDir / Resume / StopAfter checkpoint the stream per hour,
+	// exactly like Config's per-pass checkpoints.
+	StateDir  string
+	Resume    bool
+	StopAfter string
+	Log       func(format string, args ...any)
+	Metrics   *metrics.Registry
+}
+
+func (c StreamConfig) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// withDefaults fills unset knobs.
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Hours <= 0 {
+		c.Hours = 24
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// streamCfg projects the experiment config onto the stream package's
+// scheduler config.
+func (c StreamConfig) streamCfg() stream.Config {
+	ch := c.Churn
+	ch.Seed = c.Seed
+	return stream.Config{
+		Seed:        c.Seed,
+		Scale:       c.Scale.Name,
+		Hours:       c.Hours,
+		TTLHours:    c.TTLHours,
+		BudgetFrac:  c.BudgetFrac,
+		FlipWindow:  c.FlipWindow,
+		DecayMargin: c.DecayMargin,
+		EmitEvery:   c.EmitEvery,
+		Churn:       ch,
+	}.WithDefaults()
+}
+
+// streamEnv is the streaming run's ephemeral environment: the campaign
+// env plus the stream state machine, built lazily at the first hour
+// boundary (it needs the calibrated campaign for assignments and the
+// pre-churn world for the event plan).
+type streamEnv struct {
+	campaignEnv
+	scfg     stream.Config
+	exporter *serve.RollingExporter
+	epoch    time.Time
+
+	streamOnce sync.Once
+	st         *stream.State
+	senv       *stream.Env
+}
+
+// stream returns the state machine, deriving the churn plan and the
+// scheduler state on first use. Both the live hour stages and the
+// checkpoint-replay decoders funnel through here, so a resumed run
+// rebuilds exactly the state the original run advanced.
+func (e *streamEnv) stream(camp *cacheprobe.Campaign) (*stream.State, *stream.Env) {
+	e.streamOnce.Do(func() {
+		asg := e.assignments(camp)
+		plan := e.scfg.Churn.Plan(e.scfg.Hours, e.sys.World)
+		e.st = stream.NewState(e.scfg, plan, asg)
+		e.senv = &stream.Env{
+			World: e.sys.World,
+			Model: e.sys.Model,
+			Asg:   asg,
+			Epoch: e.epoch,
+		}
+		if lf := e.sys.Google.LazyFill(); lf != nil {
+			e.senv.InvalidateRates = lf.Invalidate
+		}
+	})
+	return e.st, e.senv
+}
+
+// hourArtifact is one streaming hour's in-memory artifact: the
+// cumulative campaign plus the hour's delta (the only checkpointed
+// part).
+type hourArtifact struct {
+	Camp  *cacheprobe.Campaign
+	Delta *stream.HourDelta
+}
+
+// hourCodec builds hour k's checkpoint codec. Decoding verifies the
+// delta's base hash against the upstream checkpoint AND the recorded
+// churn events against the freshly re-derived plan, then replays the
+// hour through the same BeginHour/FinishHour path a probed hour takes.
+func hourCodec(k int, setup *pipeline.Stage[*streamEnv], upCamp func() *cacheprobe.Campaign, upHash func() string) *pipeline.Codec[*hourArtifact] {
+	return &pipeline.Codec[*hourArtifact]{
+		Kind:    snapshot.KindStreamDelta,
+		Version: snapshot.VersionStreamDelta,
+		Encode:  func(w *snapshot.Writer, a *hourArtifact) { stream.EncodeHourDelta(w, a.Delta) },
+		Decode: func(r *snapshot.Reader) (*hourArtifact, error) {
+			d, err := stream.DecodeHourDelta(r)
+			if err != nil {
+				return nil, err
+			}
+			if d.Hour != k {
+				return nil, fmt.Errorf("checkpoint holds hour %d, stage is hour %d", d.Hour, k)
+			}
+			if base := upHash(); d.Pass.Base != base {
+				return nil, fmt.Errorf("delta applies to base %.12s, upstream checkpoint is %.12s", d.Pass.Base, base)
+			}
+			env := setup.Out()
+			camp := upCamp()
+			st, senv := env.stream(camp)
+			hp := st.BeginHour(senv)
+			if len(hp.Events) != len(d.Events) {
+				return nil, fmt.Errorf("hour %d: checkpoint has %d churn events, plan derives %d", k, len(d.Events), len(hp.Events))
+			}
+			for i := range hp.Events {
+				if hp.Events[i] != d.Events[i] {
+					return nil, fmt.Errorf("hour %d: churn event %d diverges from derived plan (%s)", k, i, d.Events[i].Describe())
+				}
+			}
+			d.Pass.Apply(camp)
+			st.FinishHour(hp, d, senv)
+			return &hourArtifact{Camp: camp, Delta: d}, nil
+		},
+	}
+}
+
+// streamRun wires the streaming pipeline and keeps the handles Results
+// assembly needs.
+type streamRun struct {
+	runner *pipeline.Runner
+	trace  *metrics.Trace
+	world  *pipeline.Stage[*sim.System]
+	setup  *pipeline.Stage[*streamEnv]
+	final  *pipeline.Stage[*hourArtifact]
+}
+
+// newStreamRun registers the streaming chain:
+//
+//	world ─ stream-setup ─ scope-prescan ─ calibration ─ stream-hour-0 … stream-hour-(H-1) ─ stream-finish
+//
+// Every hour is its own checkpoint boundary: kill after hour k, resume
+// at hour k+1 with the scheduler state replayed from the hour deltas.
+// Worker count is absent from fingerprints (pure throughput knob).
+func newStreamRun(cfg StreamConfig) *streamRun {
+	campStart := clockx.Epoch
+	scfg := cfg.streamCfg()
+	trace := metrics.NewTrace()
+	r := pipeline.New(pipeline.Options{
+		Dir:       cfg.StateDir,
+		Resume:    cfg.Resume,
+		StopAfter: cfg.StopAfter,
+		Log:       cfg.logf,
+		Trace:     trace,
+		TraceTime: campStart,
+	})
+	sr := &streamRun{runner: r, trace: trace}
+
+	base := fmt.Sprintf("seed=%d scale=%+v", cfg.Seed, cfg.Scale)
+	streamFP := fmt.Sprintf("%s faults=%s retry=%s stream{%s}", base, cfg.Faults.Fingerprint(), cfg.Retry.Fingerprint(), scfg.Fingerprint())
+
+	sr.world = pipeline.AddStage(r, StageWorld, base, nil, nil,
+		func(ctx context.Context) (*sim.System, error) {
+			return sim.New(sim.Config{Seed: cfg.Seed, Scale: cfg.Scale, Metrics: cfg.Metrics})
+		})
+
+	setup := pipeline.AddStage(r, "stream-setup", streamFP, deps(sr.world), nil,
+		func(ctx context.Context) (*streamEnv, error) {
+			sys := sr.world.Out()
+			if cfg.Faults.Enabled() {
+				fcfg := cfg.Faults
+				fcfg.Seed = cfg.Seed
+				sys.InjectFaults(fcfg, campStart)
+			}
+			pcfg := sys.ProberConfig()
+			// Hours-as-passes: the prober's pass window is exactly one
+			// sim hour, so hour k's probes are scheduled inside hour k.
+			pcfg.Duration = time.Duration(cfg.Hours) * time.Hour
+			pcfg.Passes = cfg.Hours
+			pcfg.Workers = cfg.Workers
+			pcfg.Retry = cfg.Retry
+			pcfg.Metrics = cfg.Metrics
+			pcfg.Trace = trace
+			prober := sys.Prober(pcfg)
+			pops, err := prober.DiscoverPoPs(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("cache probing: %w", err)
+			}
+			env := &streamEnv{
+				campaignEnv: campaignEnv{sys: sys, prober: prober, pops: pops},
+				scfg:        scfg,
+				epoch:       campStart,
+			}
+			if cfg.ArtifactPath != "" {
+				env.exporter = &serve.RollingExporter{Path: cfg.ArtifactPath}
+			}
+			return env, nil
+		})
+	sr.setup = setup
+
+	prescan := pipeline.AddStage(r, StagePreScan, streamFP, deps(sr.world, setup), campaignCodec,
+		func(ctx context.Context) (*cacheprobe.Campaign, error) {
+			camp := cacheprobe.NewCampaign()
+			if err := setup.Out().prober.PreScan(ctx, camp); err != nil {
+				return nil, fmt.Errorf("cache probing: %w", err)
+			}
+			return camp, nil
+		})
+
+	calibrate := pipeline.AddStage(r, StageCalibrate, streamFP, deps(setup, prescan), campaignCodec,
+		func(ctx context.Context) (*cacheprobe.Campaign, error) {
+			env := setup.Out()
+			camp := prescan.Out()
+			env.prober.Calibrate(ctx, env.pops, camp)
+			return camp, nil
+		})
+
+	upHandle := pipeline.Handle(calibrate)
+	upCamp := func() *cacheprobe.Campaign { return calibrate.Out() }
+	upHash := calibrate.ArtifactHash
+	var last *pipeline.Stage[*hourArtifact]
+	for k := 0; k < cfg.Hours; k++ {
+		k, uH, uc, uh := k, upHandle, upCamp, upHash
+		hourFP := fmt.Sprintf("%s hour=%d", streamFP, k)
+		stage := pipeline.AddStage(r, StreamHourStage(k), hourFP, deps(setup, uH), hourCodec(k, setup, uc, uh),
+			func(ctx context.Context) (*hourArtifact, error) {
+				env := setup.Out()
+				camp := uc()
+				st, senv := env.stream(camp)
+				hp := st.BeginHour(senv)
+				pass, err := env.prober.ProbePassDelta(ctx, env.pops, hp.Sub, k, campStart, camp)
+				if err != nil {
+					return nil, err
+				}
+				pass.Base = uh()
+				d := &stream.HourDelta{
+					Hour:   k,
+					Events: hp.Events,
+					Pass:   pass,
+					DNS:    stream.DNSTick(senv, st.Cfg, k),
+				}
+				_, out := st.FinishHour(hp, d, senv)
+				if out != nil && env.exporter != nil {
+					if _, _, err := env.exporter.Export(out.Map); err != nil {
+						return nil, fmt.Errorf("rolling artifact: %w", err)
+					}
+				}
+				return &hourArtifact{Camp: camp, Delta: d}, nil
+			})
+		upHandle, upHash = stage, stage.ArtifactHash
+		upCamp = func() *cacheprobe.Campaign { return stage.Out().Camp }
+		last = stage
+	}
+	sr.final = last
+
+	pipeline.AddStage(r, StageStreamFinish, "", deps(setup, sr.final), nil,
+		func(ctx context.Context) (struct{}, error) {
+			setup.Out().prober.FinishProbing(campStart)
+			return struct{}{}, nil
+		})
+
+	return sr
+}
+
+// StreamResults bundles everything a streaming run produced.
+type StreamResults struct {
+	Cfg      StreamConfig
+	Sys      *sim.System
+	Campaign *cacheprobe.Campaign
+	// State is the final scheduler + decay-ledger state; its Views slice
+	// is the rolling per-hour summary.
+	State *stream.State
+	// Report is the end-of-run summary with the coverage-lag table.
+	Report *stream.Report
+	// FinalMap/FinalHash is the rolling artifact as of the last hour
+	// (rebuilt deterministically — identical to the last emitted file).
+	FinalMap  *serve.ClientMap
+	FinalHash string
+	Trace     *metrics.Trace
+}
+
+// RunStream executes the continuous measurement mode. The stream
+// advances one simulated hour at a time — churn events apply, the
+// adaptive scheduler picks this hour's probe subset, evidence folds in
+// and decays out, and the rolling map emits — with every hour its own
+// resumable checkpoint.
+func RunStream(cfg StreamConfig) (*StreamResults, error) {
+	cfg = cfg.withDefaults()
+	sr := newStreamRun(cfg)
+	if err := sr.runner.Run(noCtx()); err != nil {
+		return nil, err
+	}
+	if cfg.StateDir != "" {
+		if path, err := writeTrace(cfg.StateDir, "trace.jsonl", sr.trace); err != nil {
+			cfg.logf("trace: write failed: %v", err)
+		} else {
+			cfg.logf("trace: %s", path)
+		}
+	}
+	env := sr.setup.Out()
+	st, senv := env.stream(sr.final.Out().Camp)
+	res := &StreamResults{
+		Cfg:      cfg,
+		Sys:      env.sys,
+		Campaign: sr.final.Out().Camp,
+		State:    st,
+		Report:   st.Report(),
+		Trace:    sr.trace,
+	}
+	if out := st.FinalMap(senv); out != nil {
+		res.FinalMap, res.FinalHash = out.Map, out.Hash
+		if env.exporter != nil {
+			// A fully restored run replayed checkpoints without writing;
+			// make sure the artifact on disk is the final rolling view
+			// (deduped by hash when the live path already wrote it).
+			if _, _, err := env.exporter.Export(out.Map); err != nil {
+				return nil, fmt.Errorf("rolling artifact: %w", err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// MetricsLedger assembles the streaming run's deterministic metrics:
+// the campaign's checkpoint-folded instrumentation plus "stream/…"
+// counters derived from the replayable state — never from live registry
+// values, so the ledger is bit-identical across worker counts and
+// kill/resume.
+func (r *StreamResults) MetricsLedger() metrics.Ledger {
+	led := metrics.Ledger{}
+	if r.Campaign != nil {
+		led.Merge(r.Campaign.Metrics)
+		f := r.Campaign.Faults
+		led["faults/injected_drops"] = f.InjectedDrops
+		led["faults/outage_drops"] = f.OutageDrops
+		led["faults/truncations"] = f.Truncations
+		led["faults/duplicates"] = f.Duplicates
+	}
+	st := r.State
+	if st == nil {
+		return led
+	}
+	var scheduled, probes, hits, fresh, decayed, events, emits int64
+	for _, v := range st.Views {
+		scheduled += int64(v.Scheduled)
+		probes += int64(v.Probes)
+		hits += int64(v.Hits)
+		fresh += int64(v.FreshScopes)
+		decayed += int64(v.DecayedScopes)
+		events += int64(v.Events)
+		if v.MapHash != "" {
+			emits++
+		}
+	}
+	led["stream/hours"] = int64(st.Hour)
+	led["stream/scheduled"] = scheduled
+	led["stream/probes"] = probes
+	led["stream/hits"] = hits
+	led["stream/fresh_scopes"] = fresh
+	led["stream/decayed_scopes"] = decayed
+	led["stream/churn_events"] = events
+	led["stream/emits"] = emits
+	led["stream/drift_ticks"] = int64(st.DriftTicks)
+	led["stream/diurnal_ticks"] = int64(st.DiurnalTicks)
+	led["stream/active_scopes"] = int64(st.Ledger.ActiveScopes())
+	led["stream/dns_active"] = int64(st.Ledger.DNSActive())
+	var reflected, pending, lagSum int64
+	for _, o := range st.Outcomes {
+		if o.ReflectedHour >= 0 {
+			reflected++
+			lagSum += int64(o.Lag())
+		} else {
+			pending++
+		}
+	}
+	led["stream/lag_reflected"] = reflected
+	led["stream/lag_pending"] = pending
+	led["stream/lag_hours_sum"] = lagSum
+	if r.Report != nil && r.Report.ChromiumOffHour >= 0 {
+		led["stream/chromium_base_24s"] = int64(r.Report.ChromiumBase)
+		led["stream/chromium_end_24s"] = int64(r.Report.ChromiumEnd)
+	}
+	return led
+}
+
+// MetricsJSON renders the streaming ledger as canonical JSON.
+func (r *StreamResults) MetricsJSON() []byte {
+	return r.MetricsLedger().JSON()
+}

@@ -61,6 +61,19 @@ func NewLazyFill(model *traffic.Model, pools int) *LazyFill {
 	}
 }
 
+// Invalidate drops every memoized (domain, scope) rate line. The memo
+// assumes the world's prefix populations and resolver shares are frozen
+// — true for fixed-window campaigns, false once the streaming mode
+// churns the world. The stream calls Invalidate after applying each
+// hour's churn events, so both a continuous run and a resumed run
+// recompute rates from the same post-churn world instead of one of them
+// serving stale memo entries.
+func (lf *LazyFill) Invalidate() {
+	lf.mu.Lock()
+	lf.rates = make(map[ratesKey]*scopeRates)
+	lf.mu.Unlock()
+}
+
 // ratesFor aggregates (and memoizes) the per-PoP client query rates for a
 // (domain, scope) cache line.
 func (lf *LazyFill) ratesFor(d domains.Domain, scope netx.Prefix) *scopeRates {

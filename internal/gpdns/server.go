@@ -138,6 +138,10 @@ func (s *Server) SetUpstream(h dnsnet.Handler) { s.upstream = h }
 // SetLazyFill attaches the background-traffic cache model.
 func (s *Server) SetLazyFill(lf *LazyFill) { s.lazy = lf }
 
+// LazyFill returns the attached background-traffic cache model, if any —
+// the streaming mode invalidates its rate memo after each churn step.
+func (s *Server) LazyFill() *LazyFill { return s.lazy }
+
 // RegisterVantage declares that queries from src reach the PoP at catalog
 // index popIdx (the result of the vantage's anycast route).
 func (s *Server) RegisterVantage(src netx.Addr, popIdx int) {

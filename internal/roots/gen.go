@@ -101,7 +101,6 @@ type source struct {
 // the world: a prefix's probes split between its ISP resolver and Google
 // Public DNS by the AS's Google share.
 func (g *Generator) sources() []source {
-	resRate := make(map[int32]float64)
 	popRate := make(map[int]float64)
 	for i := range g.model.W.Prefixes {
 		pi := &g.model.W.Prefixes[i]
@@ -110,18 +109,18 @@ func (g *Generator) sources() []source {
 		}
 		as := g.model.W.ASes[pi.ASIdx]
 		probes := g.model.ChromiumProbeRate(pi)
-		if pi.ResolverIdx >= 0 {
-			resRate[pi.ResolverIdx] += probes * (1 - as.GoogleDNSShare)
-		}
 		pop := g.model.Router.PoPForClient(pi.P, pi.Coord)
 		popRate[pop] += probes * as.GoogleDNSShare * (1 - g.model.Tun.GoogleRootSuppression)
 	}
 	var out []source
-	for idx, rate := range resRate {
-		r := g.model.W.Resolvers[idx]
-		if !r.ForwardsToRoots {
-			continue // behind a forwarder; invisible at the roots
+	// The resolver half comes from the traffic model's shared per-resolver
+	// aggregation (the streaming DNS-logs channel watches the same rates);
+	// forwarder-hidden resolvers come back as zero and emit nothing.
+	for idx, rate := range g.model.ResolverRootRates() {
+		if rate <= 0 {
+			continue
 		}
+		r := g.model.W.Resolvers[idx]
 		out = append(out, source{addr: r.Addr, rate: rate, lon: r.Coord.Lon})
 	}
 	for pop, rate := range popRate {

@@ -210,25 +210,35 @@ func Unmarshal(data []byte) (*ClientMap, string, error) {
 // discipline the pipeline checkpoints use) and returns the payload hash.
 func WriteFile(path string, cm *ClientMap) (string, error) {
 	data, hash := Marshal(cm)
+	if err := writeFileAtomic(path, data); err != nil {
+		return "", err
+	}
+	return hash, nil
+}
+
+// writeFileAtomic writes data to path via temp file + rename, so a
+// concurrent reader (clientmapd's reload poller) only ever sees a
+// complete artifact.
+func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".clientmap-*")
 	if err != nil {
-		return "", err
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return "", err
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return "", err
+		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return "", err
+		return err
 	}
-	return hash, nil
+	return nil
 }
 
 // ReadFile loads and validates a ClientMap snapshot from disk.

@@ -130,19 +130,31 @@ type BuildInput struct {
 // every output slice is sorted, so two builds from the same campaign are
 // byte-identical once encoded.
 func Build(in BuildInput) *ClientMap {
-	cm := &ClientMap{Meta: in.Meta}
-	if cm.Meta.Passes <= 0 && in.Campaign != nil {
-		cm.Meta.Passes = in.Campaign.Passes
+	if in.Meta.Passes <= 0 && in.Campaign != nil {
+		in.Meta.Passes = in.Campaign.Passes
 	}
-
+	var scopes []ScopeEvidence
 	if in.Campaign != nil {
-		cm.Scopes = buildScopes(in.Campaign, cm.Meta.Passes)
+		scopes = buildScopes(in.Campaign, in.Meta.Passes)
 	}
-	if in.RV != nil {
-		cm.Origins = buildOrigins(in.RV)
-		cm.ASes = buildASes(cm.Scopes, in.RV)
+	return Assemble(in.Meta, scopes, in.RV, in.ClientVolume)
+}
+
+// Assemble compiles a serving artifact from an already-aggregated scope
+// list: the shared back half of Build, exported for producers whose
+// evidence does not live in a cacheprobe.Campaign — the streaming mode
+// folds its decay ledger into ScopeEvidence rows and assembles a rolling
+// map every emitted hour. The scopes slice must be sorted by scope
+// prefix with per-entry invariants satisfying Validate; Assemble derives
+// the AS evidence, origins and traffic weights from it the same way
+// Build does.
+func Assemble(meta Meta, scopes []ScopeEvidence, rv *routeviews.Table, volume map[netx.Slash24]float64) *ClientMap {
+	cm := &ClientMap{Meta: meta, Scopes: scopes}
+	if rv != nil {
+		cm.Origins = buildOrigins(rv)
+		cm.ASes = buildASes(cm.Scopes, rv)
 	}
-	cm.Traffic = buildTraffic(cm.Scopes, in.ClientVolume)
+	cm.Traffic = buildTraffic(cm.Scopes, volume)
 	return cm
 }
 

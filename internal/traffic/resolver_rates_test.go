@@ -1,0 +1,67 @@
+package traffic
+
+import "testing"
+
+func TestResolverRootRates(t *testing.T) {
+	m := testModel(t)
+	rates := m.ResolverRootRates()
+	if len(rates) != len(m.W.Resolvers) {
+		t.Fatalf("%d rates for %d resolvers", len(rates), len(m.W.Resolvers))
+	}
+	positive := 0
+	for ri, rate := range rates {
+		if rate < 0 {
+			t.Fatalf("resolver %d: negative rate %v", ri, rate)
+		}
+		if rate > 0 {
+			positive++
+			if !m.W.Resolvers[ri].ForwardsToRoots {
+				t.Fatalf("resolver %d behind a forwarder has root rate %v", ri, rate)
+			}
+		}
+	}
+	if positive == 0 {
+		t.Fatal("no resolver reaches the roots with a positive Chromium rate")
+	}
+}
+
+// The rates must follow the live world: zeroing the Chromium share
+// silences every resolver on the next call — the streaming deprecation
+// scenario's mechanism.
+func TestResolverRootRatesFollowWorld(t *testing.T) {
+	m := testModel(t)
+	before := m.ResolverRootRates()
+	m.W.SetChromiumShare(0)
+	after := m.ResolverRootRates()
+	for ri, rate := range after {
+		if rate != 0 {
+			t.Fatalf("resolver %d: rate %v after Chromium deprecation (was %v)", ri, rate, before[ri])
+		}
+	}
+}
+
+// Raising an AS's Google DNS share lowers what its resolvers see at the
+// roots (queries intercepted by Google Public DNS never reach them).
+func TestResolverRootRatesGoogleShare(t *testing.T) {
+	m := testModel(t)
+	before := m.ResolverRootRates()
+	ri := -1
+	for i, r := range before {
+		if r > 0 {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		t.Fatal("no positive-rate resolver")
+	}
+	asIdx := m.W.Resolvers[ri].ASIdx
+	m.W.SetGoogleDNSShare(asIdx, 0.9)
+	after := m.ResolverRootRates()
+	if after[ri] >= before[ri] {
+		// The resolver may serve prefixes of other ASes too; but at
+		// minimum the shared-AS contribution shrank, so equality means
+		// the share had no effect at all.
+		t.Fatalf("resolver %d rate %v -> %v after raising Google share", ri, before[ri], after[ri])
+	}
+}

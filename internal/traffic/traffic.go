@@ -211,6 +211,34 @@ func (m *Model) ChromiumProbeRate(pi *world.PrefixInfo) float64 {
 	return m.SessionRate(pi) * m.W.Cfg.Params.ChromiumShare * float64(m.Tun.ChromiumProbes)
 }
 
+// ResolverRootRates returns, per World.Resolvers index, the aggregate
+// Chromium interception-probe rate (probes/second, pre-diurnal) that
+// reaches the root servers through that resolver: each client prefix's
+// Chromium rate times its non-Google query share, and zero for resolvers
+// sitting behind forwarders (invisible at the roots). This is the
+// per-source rate the DITL trace generator emits Chromium records at,
+// and the signal the streaming mode's DNS-logs channel watches decay
+// when the world's Chromium share churns to zero. Rates are recomputed
+// from the live world on every call, so a churned world is reflected
+// immediately.
+func (m *Model) ResolverRootRates() []float64 {
+	rates := make([]float64, len(m.W.Resolvers))
+	for i := range m.W.Prefixes {
+		pi := &m.W.Prefixes[i]
+		if !pi.HasClients() || pi.ResolverIdx < 0 {
+			continue
+		}
+		as := m.W.ASes[pi.ASIdx]
+		rates[pi.ResolverIdx] += m.ChromiumProbeRate(pi) * (1 - as.GoogleDNSShare)
+	}
+	for i := range rates {
+		if !m.W.Resolvers[i].ForwardsToRoots {
+			rates[i] = 0
+		}
+	}
+	return rates
+}
+
 // CountIn returns a deterministic Poisson sample of event counts in the
 // window [start, start+dur) for a process with the given mean rate and
 // diurnal modulation at longitude lon. The sample depends only on

@@ -1,0 +1,98 @@
+package world
+
+// Mutators for a churning world. A generated World is immutable for
+// fixed-window campaigns; the streaming mode (internal/stream) replays a
+// deterministic churn plan (internal/churn) through these methods, so
+// the ground truth drifts under the measurement instead of holding
+// still. Each mutator keeps the derived structures consistent where live
+// consumers read them (byPrefix, the announcement trie, the traffic
+// model's live parameter reads) and deliberately leaves batch-build
+// inputs (AS.PrefixLo/Hi ranges, AS.Blocks, the geo database) at their
+// generation-time values: real-world counterparts of those — RouteViews
+// archives, MaxMind snapshots — lag reality too, and the lag is exactly
+// what the streaming report measures.
+
+import "clientmap/internal/netx"
+
+// GoogleASIdx returns the index of the synthetic Google AS in ASes —
+// the one AS churn must never re-allocate space into or out of, since
+// Google Public DNS egress addresses live there.
+func (w *World) GoogleASIdx() int32 { return w.googleASIdx }
+
+// Realloc moves the announced /24 p to the AS at asIdx and redraws its
+// client population: the ground-truth equivalent of an address block
+// changing hands (or going dark when users is zero). The trie gains a
+// more-specific /24 announcement for the new origin — longest-prefix
+// match then attributes p to the new AS while the old covering block
+// keeps announcing the rest of its space, which is how transferred
+// blocks actually show up in BGP. Reports false if p is not an
+// announced /24 or asIdx is out of range.
+func (w *World) Realloc(p netx.Slash24, asIdx int32, users, activity, diurnality float32, resolverIdx int32) bool {
+	pi, ok := w.PrefixInfoOf(p)
+	if !ok || asIdx < 0 || int(asIdx) >= len(w.ASes) {
+		return false
+	}
+	if resolverIdx >= int32(len(w.Resolvers)) {
+		resolverIdx = -1
+	}
+	pi.ASIdx = asIdx
+	pi.Users = users
+	pi.Activity = activity
+	pi.Diurnality = diurnality
+	pi.ResolverIdx = resolverIdx
+	w.announcements.Insert(p.Prefix(), asIdx)
+	return true
+}
+
+// SetGoogleDNSShare sets the AS's Google Public DNS query share, clamped
+// to the generator's share range so drifted worlds stay inside the
+// envelope Generate produces. Reports false if asIdx is out of range.
+func (w *World) SetGoogleDNSShare(asIdx int32, share float64) bool {
+	if asIdx < 0 || int(asIdx) >= len(w.ASes) {
+		return false
+	}
+	w.ASes[asIdx].GoogleDNSShare = clampShare(share)
+	return true
+}
+
+// clampShare bounds a Google DNS share to the generator's range: every
+// AS keeps some Google traffic and none sends everything there.
+func clampShare(s float64) float64 {
+	if s < 0.02 {
+		return 0.02
+	}
+	if s > 0.9 {
+		return 0.9
+	}
+	return s
+}
+
+// ScaleDiurnality multiplies the /24's diurnal amplitude by factor,
+// clamped to [0, 1]. Reports false if p is not an announced /24.
+func (w *World) ScaleDiurnality(p netx.Slash24, factor float64) bool {
+	pi, ok := w.PrefixInfoOf(p)
+	if !ok {
+		return false
+	}
+	d := float64(pi.Diurnality) * factor
+	if d < 0 {
+		d = 0
+	}
+	if d > 1 {
+		d = 1
+	}
+	pi.Diurnality = float32(d)
+	return true
+}
+
+// SetChromiumShare sets the fraction of browser sessions emitting
+// Chromium interception probes. The traffic model reads the parameter
+// live on every rate computation, so setting it to zero immediately
+// starves the DNS-logs technique — the paper's "what if Chromium stops
+// probing" deprecation scenario.
+func (w *World) SetChromiumShare(share float64) {
+	if share < 0 {
+		share = 0
+	}
+	w.Cfg.Params.ChromiumShare = share
+}

@@ -1,0 +1,150 @@
+package world
+
+import (
+	"testing"
+)
+
+func mutateWorld(t *testing.T) *World {
+	t.Helper()
+	w, err := Generate(Config{Seed: 5, Scale: ScaleTiny, Params: DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// pickPrefixOutsideAS returns an announced /24 not owned by the given AS.
+func pickPrefixOutsideAS(t *testing.T, w *World, asIdx int32) *PrefixInfo {
+	t.Helper()
+	for i := range w.Prefixes {
+		if w.Prefixes[i].ASIdx != asIdx {
+			return &w.Prefixes[i]
+		}
+	}
+	t.Fatal("no prefix outside AS")
+	return nil
+}
+
+func TestRealloc(t *testing.T) {
+	w := mutateWorld(t)
+	pi := pickPrefixOutsideAS(t, w, w.GoogleASIdx())
+	oldAS := pi.ASIdx
+	newAS := (oldAS + 1) % int32(len(w.ASes))
+	if newAS == w.GoogleASIdx() {
+		newAS = (newAS + 1) % int32(len(w.ASes))
+	}
+	p := pi.P
+	if !w.Realloc(p, newAS, 3.5, 1.2, 0.8, -1) {
+		t.Fatal("Realloc rejected a valid move")
+	}
+	got, ok := w.PrefixInfoOf(p)
+	if !ok {
+		t.Fatal("prefix vanished")
+	}
+	if got.ASIdx != newAS || got.Users != 3.5 || got.Activity != 1.2 || got.Diurnality != 0.8 || got.ResolverIdx != -1 {
+		t.Fatalf("PrefixInfo after realloc = %+v", got)
+	}
+	// Longest-prefix match now attributes the /24 to the new AS.
+	if as, found := w.ASOf(p.Addr()); !found || as.ASN != w.ASes[newAS].ASN {
+		t.Fatalf("ASOf after realloc = %v,%v, want AS%d", as, found, w.ASes[newAS].ASN)
+	}
+}
+
+func TestReallocRejects(t *testing.T) {
+	w := mutateWorld(t)
+	p := w.Prefixes[0].P
+	if w.Realloc(p, -1, 1, 1, 1, -1) {
+		t.Fatal("accepted negative AS index")
+	}
+	if w.Realloc(p, int32(len(w.ASes)), 1, 1, 1, -1) {
+		t.Fatal("accepted out-of-range AS index")
+	}
+	// An unannounced /24: probe space beyond the last announced prefix.
+	bogus := w.Prefixes[len(w.Prefixes)-1].P + 1<<16
+	if w.Realloc(bogus, 0, 1, 1, 1, -1) {
+		t.Fatal("accepted unannounced prefix")
+	}
+}
+
+func TestReallocClampsResolverIdx(t *testing.T) {
+	w := mutateWorld(t)
+	p := w.Prefixes[0].P
+	if !w.Realloc(p, w.Prefixes[0].ASIdx, 1, 1, 1, int32(len(w.Resolvers))+5) {
+		t.Fatal("Realloc rejected")
+	}
+	if got, _ := w.PrefixInfoOf(p); got.ResolverIdx != -1 {
+		t.Fatalf("out-of-range resolver index stored as %d, want -1", got.ResolverIdx)
+	}
+}
+
+func TestSetGoogleDNSShareClamps(t *testing.T) {
+	w := mutateWorld(t)
+	if w.SetGoogleDNSShare(-1, 0.5) || w.SetGoogleDNSShare(int32(len(w.ASes)), 0.5) {
+		t.Fatal("accepted out-of-range AS index")
+	}
+	if !w.SetGoogleDNSShare(0, 5.0) {
+		t.Fatal("rejected valid index")
+	}
+	if got := w.ASes[0].GoogleDNSShare; got != 0.9 {
+		t.Fatalf("share = %v, want clamp to 0.9", got)
+	}
+	w.SetGoogleDNSShare(0, 0)
+	if got := w.ASes[0].GoogleDNSShare; got != 0.02 {
+		t.Fatalf("share = %v, want clamp to 0.02", got)
+	}
+	w.SetGoogleDNSShare(0, 0.4)
+	if got := w.ASes[0].GoogleDNSShare; got != 0.4 {
+		t.Fatalf("share = %v, want 0.4", got)
+	}
+}
+
+func TestScaleDiurnality(t *testing.T) {
+	w := mutateWorld(t)
+	p := w.Prefixes[0].P
+	pi, _ := w.PrefixInfoOf(p)
+	pi.Diurnality = 0.5
+	if !w.ScaleDiurnality(p, 1.2) {
+		t.Fatal("rejected valid prefix")
+	}
+	if got, _ := w.PrefixInfoOf(p); got.Diurnality != float32(0.5*1.2) {
+		t.Fatalf("diurnality = %v", got.Diurnality)
+	}
+	w.ScaleDiurnality(p, 100)
+	if got, _ := w.PrefixInfoOf(p); got.Diurnality != 1 {
+		t.Fatalf("diurnality = %v, want clamp to 1", got.Diurnality)
+	}
+	w.ScaleDiurnality(p, 0)
+	if got, _ := w.PrefixInfoOf(p); got.Diurnality != 0 {
+		t.Fatalf("diurnality = %v, want 0", got.Diurnality)
+	}
+	bogus := w.Prefixes[len(w.Prefixes)-1].P + 1<<16
+	if w.ScaleDiurnality(bogus, 1.1) {
+		t.Fatal("accepted unannounced prefix")
+	}
+}
+
+func TestSetChromiumShare(t *testing.T) {
+	w := mutateWorld(t)
+	if w.Cfg.Params.ChromiumShare == 0 {
+		t.Fatal("generated world has zero Chromium share")
+	}
+	w.SetChromiumShare(0)
+	if w.Cfg.Params.ChromiumShare != 0 {
+		t.Fatal("share not zeroed")
+	}
+	w.SetChromiumShare(-3)
+	if w.Cfg.Params.ChromiumShare != 0 {
+		t.Fatal("negative share not floored at 0")
+	}
+	w.SetChromiumShare(0.5)
+	if w.Cfg.Params.ChromiumShare != 0.5 {
+		t.Fatal("share not set")
+	}
+}
+
+func TestGoogleASIdx(t *testing.T) {
+	w := mutateWorld(t)
+	if got := w.GoogleASIdx(); w.ASes[got].ASN != w.GoogleAS().ASN {
+		t.Fatalf("GoogleASIdx %d does not match GoogleAS", got)
+	}
+}

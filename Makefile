@@ -6,11 +6,12 @@ GO ?= go
 # measurement cores, the stage runner, the snapshot codecs, the metrics
 # registry, the degradation layer, and the simulated world + traffic
 # models, where an untested branch is a silently wrong result.
-COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/snapshot/... ./internal/metrics/... ./internal/health/... ./internal/serve/... ./internal/world/... ./internal/traffic/...
+COVER_PKGS = ./internal/dnsnet/... ./internal/core/... ./internal/pipeline/... ./internal/snapshot/... ./internal/metrics/... ./internal/health/... ./internal/serve/... ./internal/world/... ./internal/traffic/... ./internal/statefs/... ./internal/statefsck/...
 COVER_FLOOR = 70
 # The metrics registry, the health layer, the snapshot codecs, the
-# stage runner, the serving layer, and the world/traffic substrate back
-# the determinism guarantees of every exported ledger, every
+# stage runner, the serving layer, the world/traffic substrate, and the
+# state-durability layer (statefs fault injection, statefsck repair)
+# back the determinism guarantees of every exported ledger, every
 # breaker/failover decision, every shard/delta checkpoint, every answer
 # handed to a client and every downstream measurement, so they carry a
 # higher floor.
@@ -50,7 +51,7 @@ cover:
 	awk -v floor=$(COVER_FLOOR) -v mfloor=$(COVER_FLOOR_METRICS) ' \
 		{ print } \
 		/coverage:/ { \
-			f = floor; if ($$2 ~ /internal\/(metrics|health|snapshot|pipeline|serve|world|traffic)/) f = mfloor; \
+			f = floor; if ($$2 ~ /internal\/(metrics|health|snapshot|pipeline|serve|world|traffic|statefs|statefsck)/) f = mfloor; \
 			pct = $$5; sub(/%.*/, "", pct); \
 			if (pct + 0 < f) { bad = 1; print "FAIL: " $$2 " below " f "% floor" } \
 		} \
@@ -66,6 +67,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzChurnParse -fuzztime=10s ./internal/churn
 	$(GO) test -run='^$$' -fuzz=FuzzReverseName -fuzztime=10s ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzHTTPQuery -fuzztime=10s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/statefs
 
 # golden-update regenerates the golden regression corpus (the headline
 # statistics of a fixed small-scale campaign, the degraded-mode stats of

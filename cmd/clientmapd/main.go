@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"clientmap/internal/metrics"
 	"clientmap/internal/serve"
 )
 
@@ -45,12 +46,14 @@ func main() {
 		reload    = flag.Duration("reload", 10*time.Second, "artifact change-poll interval (0 disables)")
 		rate      = flag.Float64("rate", 100, "per-client queries/second (negative disables limiting)")
 		burst     = flag.Float64("burst", 0, "per-client burst depth (0 = 2x rate)")
+		drainFor  = flag.Duration("drain-timeout", 5*time.Second, "how long SIGTERM waits for in-flight queries")
 	)
 	flag.Parse()
 	if *artifact == "" {
 		log.Fatal("-artifact is required")
 	}
 
+	reg := metrics.NewRegistry()
 	d := serve.NewDaemon(serve.Config{
 		ArtifactPath: *artifact,
 		HTTPAddr:     *httpAddr,
@@ -60,6 +63,7 @@ func main() {
 		TTL:          uint32(*ttl),
 		ReloadEvery:  *reload,
 		RateLimit:    serve.LimiterConfig{Rate: *rate, Burst: *burst},
+		Metrics:      reg,
 	})
 	if err := d.Start(); err != nil {
 		log.Fatal(err)
@@ -95,7 +99,13 @@ func main() {
 			}
 			continue
 		}
-		log.Printf("received %v, shutting down", s)
+		// Graceful drain: stop accepting, give in-flight queries
+		// -drain-timeout to finish, flush the final counters, exit 0.
+		log.Printf("received %v, draining (timeout %s)", s, *drainFor)
+		clean := d.Drain(*drainFor)
+		led := reg.SnapshotPrefix("serve.")
+		log.Printf("drained: clean=%v dns=%d http=%d dropped_mid_drain=%d",
+			clean, led["serve.dns.queries"], led["serve.http.queries"], led["serve.drain.dns_dropped"])
 		return
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"clientmap/internal/randx"
 	"clientmap/internal/report"
 	"clientmap/internal/serve"
+	"clientmap/internal/statefs"
 	"clientmap/internal/world"
 )
 
@@ -119,6 +120,7 @@ func main() {
 		shardIndex = flag.Int("shard-index", -1, "run as shard runner N of -shards sharing -state-dir; -1 executes every shard in this process")
 		shardDir   = flag.String("shard-dir", "", "work-stealing claim directory of a distributed run (default <state-dir>/shards)")
 		faultSpec  = flag.String("faults", "", `inject deterministic transport faults, e.g. "loss=0.02,jitter=50ms,outage=fra@24h+6h" (empty or "off" = reliable substrate)`)
+		diskSpec   = flag.String("disk-faults", "", `inject deterministic disk faults into state I/O, e.g. "torn=probe-pass-1@1,enospc=@0.01,bitrot=@0.001,slow=.snap@5ms" (empty or "off" = honest disk)`)
 		retrySpec  = flag.String("retries", "", `probe retry policy, e.g. "attempts=3,timeout=2s,backoff=100ms,budget=1000" (empty or "off" = single try)`)
 		healthSpec = flag.String("health", "", `graceful-degradation policy: "on" for defaults, or e.g. "window=15m,error-rate=0.5,open-after=4,probation=45m,hedge-after=150ms" (empty or "off" = no breakers/hedging/failover)`)
 		relJSON    = flag.String("reliability-json", "", "write the fault/retry ledger as JSON to this file")
@@ -164,6 +166,18 @@ func main() {
 	if cfg.Faults, cfg.Retry, cfg.Health, err = parseReliability(*faultSpec, *retrySpec, *healthSpec); err != nil {
 		log.Fatal(err)
 	}
+	dc, err := statefs.Parse(*diskSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dc.Enabled() {
+		if *stateDir == "" {
+			log.Fatal("-disk-faults requires -state-dir (there is no state I/O to fault without one)")
+		}
+		dc.Seed = randx.Seed(*seed)
+		cfg.FS = statefs.NewFaulty(dc, nil)
+		log.Printf("injecting disk faults: %s", dc)
+	}
 	ch, err := validateStreamFlags(*streamH, *emitEvery, *churnSpec, *healthSpec, *shards, *shardIndex)
 	if err != nil {
 		log.Fatal(err)
@@ -194,6 +208,7 @@ func main() {
 			ArtifactPath: *serveOut,
 			StateDir:     *stateDir,
 			Resume:       *resume,
+			FS:           cfg.FS,
 			Log:          cfg.Log,
 			Metrics:      cfg.Metrics,
 		}, *scale, *metricsTo)

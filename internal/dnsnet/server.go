@@ -20,11 +20,15 @@ import (
 type Server struct {
 	handler Handler
 
-	mu     sync.Mutex
-	pconns []net.PacketConn
-	lns    []net.Listener
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	pconns   []net.PacketConn
+	lns      []net.Listener
+	closed   bool
+	draining bool
+	inflight int
+	idle     chan struct{} // non-nil while a Drain waits for inflight==0
+	dropped  int64         // queries refused because a drain had started
+	wg       sync.WaitGroup
 }
 
 // NewServer returns a Server dispatching to handler.
@@ -84,9 +88,16 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 		if err != nil {
 			continue // malformed datagrams are dropped, like real servers
 		}
+		if !s.beginQuery() {
+			continue // draining: the client retries another server
+		}
 		s.wg.Add(1)
 		go func(query *dnswire.Message, raddr net.Addr) {
 			defer s.wg.Done()
+			// endQuery only after the response hits the socket: a drain
+			// waiting on the inflight count must not close the socket
+			// between the handler finishing and the write.
+			defer s.endQuery()
 			resp := s.handler.ServeDNS(context.Background(), srcAddr(raddr), query)
 			if resp == nil {
 				return
@@ -139,16 +150,89 @@ func (s *Server) serveTCP(ln net.Listener) {
 				if err != nil {
 					return
 				}
+				if !s.beginQuery() {
+					return // draining: close the connection, client retries
+				}
 				resp := s.handler.ServeDNS(context.Background(), src, query)
 				if resp == nil {
+					s.endQuery()
 					return // drop the connection, as rate-limited servers do
 				}
-				if err := dnswire.WriteTCP(conn, resp); err != nil {
+				err = dnswire.WriteTCP(conn, resp)
+				s.endQuery()
+				if err != nil {
 					return
 				}
 			}
 		}()
 	}
+}
+
+// beginQuery admits a query into the in-flight count. False means the
+// server is draining or closed and the query must be refused — the
+// anycast client's retry lands on another replica.
+func (s *Server) beginQuery() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		s.dropped++
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// endQuery retires a query after its response has been written, waking
+// a waiting Drain when the server goes idle.
+func (s *Server) endQuery() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the server down: new queries are refused from
+// this call on, in-flight queries get up to timeout to write their
+// responses, then every socket closes. Returns true when the server
+// went idle in time, false when the timeout abandoned in-flight work.
+// Drain is idempotent with Close and safe to call concurrently with it.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return true
+	}
+	s.draining = true
+	var idle chan struct{}
+	if s.inflight > 0 {
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle = s.idle
+	}
+	s.mu.Unlock()
+
+	done := true
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-time.After(timeout):
+			done = false
+		}
+	}
+	s.Close()
+	return done
+}
+
+// DrainDropped reports how many queries were refused because they
+// arrived after a drain (or close) had begun.
+func (s *Server) DrainDropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Close shuts down all listeners and waits for in-flight handlers on both

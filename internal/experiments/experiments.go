@@ -27,6 +27,8 @@ import (
 	"clientmap/internal/randx"
 	"clientmap/internal/routeviews"
 	"clientmap/internal/sim"
+	"clientmap/internal/statefs"
+	"clientmap/internal/statefsck"
 	"clientmap/internal/world"
 )
 
@@ -81,6 +83,12 @@ type Config struct {
 	// StateDir is the pipeline checkpoint directory; empty disables
 	// checkpointing (the whole run happens in memory, as before).
 	StateDir string
+	// FS is the state-I/O seam every checkpoint, steal-claim file and
+	// trace write goes through; nil means the durable on-disk
+	// implementation (statefs.Disk). Tests inject statefs.Faulty to
+	// drill torn writes, ENOSPC and silent bit rot against the exact
+	// paths a campaign checkpoints.
+	FS statefs.FS
 	// Resume reuses checkpoints in StateDir whose fingerprints match the
 	// current configuration, skipping the stages that produced them.
 	Resume bool
@@ -193,6 +201,9 @@ func (c Config) withDefaults() Config {
 // distributed campaign rather than the whole campaign.
 func (c Config) shardRunner() bool { return c.Shards > 1 && c.ShardIndex >= 0 }
 
+// fs resolves the state-I/O seam (statefs.Disk when unset).
+func (c Config) fs() statefs.FS { return statefs.Or(c.FS) }
+
 // validateSharding rejects impossible shard topologies before any stage
 // runs. Checked on the raw configuration, so a negative Shards is an
 // error rather than a silent fallback to 1.
@@ -240,11 +251,35 @@ type Results struct {
 // checkpoints into cfg.StateDir (when set) so an interrupted run resumes
 // instead of restarting; see newStagedRun for the graph and the
 // determinism argument.
+// fsckOnResume repairs the state directory before a resuming run
+// restores from it: corrupt or lineage-broken checkpoints are
+// quarantined (resume then rebuilds exactly the damaged suffix), dead
+// writers' temp litter and satisfied steal claims are swept. It never
+// wedges a run — on any error resume proceeds and treats what it cannot
+// read as a rebuild. The one-minute temp-file grace protects fleet
+// members still writing into a shared directory.
+func fsckOnResume(fsys statefs.FS, dir string, logf func(string, ...any)) {
+	if dir == "" {
+		return
+	}
+	rep, err := statefsck.Repair(fsys, dir, statefsck.Options{MinTmpAge: time.Minute})
+	if err != nil {
+		logf("statefsck: %v (continuing; resume rebuilds what it cannot read)", err)
+		return
+	}
+	if rep.Problems() > 0 {
+		logf("statefsck: %s", rep.Summary())
+	}
+}
+
 func Run(cfg Config) (*Results, error) {
 	if err := cfg.validateSharding(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Resume {
+		fsckOnResume(cfg.fs(), cfg.StateDir, cfg.logf)
+	}
 	sr := newStagedRun(cfg)
 	if err := sr.runner.Run(noCtx()); err != nil {
 		return nil, err

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"hash/fnv"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -11,6 +10,7 @@ import (
 	"time"
 
 	"clientmap/internal/pipeline"
+	"clientmap/internal/statefs"
 )
 
 // gate returns the cross-process stage gate of a shard runner, nil
@@ -24,7 +24,7 @@ func (c Config) gate() pipeline.Gate {
 	if dir == "" {
 		dir = filepath.Join(c.StateDir, "shards")
 	}
-	return newFileGate(dir, c.ShardIndex, c.Shards, c.ShardStealAfter)
+	return newFileGate(c.fs(), dir, c.ShardIndex, c.Shards, c.ShardStealAfter)
 }
 
 // fileGate implements pipeline.Gate for shard runners sharing one state
@@ -40,6 +40,7 @@ func (c Config) gate() pipeline.Gate {
 // artifacts are deterministic and written atomically — so the claim
 // file buys economy and exactly-once accounting, not correctness.
 type fileGate struct {
+	fs         statefs.FS
 	dir        string
 	index      int
 	shards     int
@@ -49,8 +50,9 @@ type fileGate struct {
 	firstSeen map[string]time.Time
 }
 
-func newFileGate(dir string, index, shards int, stealAfter time.Duration) *fileGate {
+func newFileGate(fsys statefs.FS, dir string, index, shards int, stealAfter time.Duration) *fileGate {
 	return &fileGate{
+		fs:         statefs.Or(fsys),
 		dir:        dir,
 		index:      index,
 		shards:     shards,
@@ -95,19 +97,16 @@ func (g *fileGate) Acquire(stage string) bool {
 // file. Losing the creation race (or any filesystem error) means "keep
 // waiting": some other runner claimed the stage and is building it.
 func (g *fileGate) claim(stage string) bool {
-	if err := os.MkdirAll(g.dir, 0o755); err != nil {
+	if err := g.fs.MkdirAll(g.dir); err != nil {
 		return false
 	}
 	path := filepath.Join(g.dir, strings.ReplaceAll(stage, "/", "_")+".steal")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if err == nil {
-		fmt.Fprintf(f, "%d\n", g.index)
-		f.Close()
+	if err := g.fs.CreateExclusive(path, []byte(fmt.Sprintf("%d\n", g.index))); err == nil {
 		return true
 	}
 	// A claim this runner wrote before a kill is still its own: honoring
 	// it on resume keeps a restarted stealer from waiting on itself.
-	if b, rerr := os.ReadFile(path); rerr == nil && strings.TrimSpace(string(b)) == strconv.Itoa(g.index) {
+	if b, rerr := g.fs.ReadFile(path); rerr == nil && strings.TrimSpace(string(b)) == strconv.Itoa(g.index) {
 		return true
 	}
 	return false

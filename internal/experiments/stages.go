@@ -257,6 +257,7 @@ func newStagedRun(cfg Config) *stagedRun {
 	trace := metrics.NewTrace()
 	r := pipeline.New(pipeline.Options{
 		Dir:       cfg.StateDir,
+		FS:        cfg.FS,
 		Resume:    cfg.Resume,
 		StopAfter: cfg.StopAfter,
 		Gate:      cfg.gate(),

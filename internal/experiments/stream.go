@@ -16,6 +16,7 @@ import (
 	"clientmap/internal/serve"
 	"clientmap/internal/sim"
 	"clientmap/internal/snapshot"
+	"clientmap/internal/statefs"
 	"clientmap/internal/stream"
 	"clientmap/internal/world"
 )
@@ -68,8 +69,11 @@ type StreamConfig struct {
 	StateDir  string
 	Resume    bool
 	StopAfter string
-	Log       func(format string, args ...any)
-	Metrics   *metrics.Registry
+	// FS is the state-I/O seam the hour checkpoints and the rolling
+	// artifact are written through; nil means statefs.Disk.
+	FS      statefs.FS
+	Log     func(format string, args ...any)
+	Metrics *metrics.Registry
 }
 
 func (c StreamConfig) logf(format string, args ...any) {
@@ -214,6 +218,7 @@ func newStreamRun(cfg StreamConfig) *streamRun {
 	trace := metrics.NewTrace()
 	r := pipeline.New(pipeline.Options{
 		Dir:       cfg.StateDir,
+		FS:        cfg.FS,
 		Resume:    cfg.Resume,
 		StopAfter: cfg.StopAfter,
 		Log:       cfg.logf,
@@ -258,7 +263,7 @@ func newStreamRun(cfg StreamConfig) *streamRun {
 				epoch:       campStart,
 			}
 			if cfg.ArtifactPath != "" {
-				env.exporter = &serve.RollingExporter{Path: cfg.ArtifactPath}
+				env.exporter = &serve.RollingExporter{Path: cfg.ArtifactPath, FS: cfg.FS}
 			}
 			return env, nil
 		})
@@ -352,6 +357,9 @@ type StreamResults struct {
 // resumable checkpoint.
 func RunStream(cfg StreamConfig) (*StreamResults, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Resume {
+		fsckOnResume(statefs.Or(cfg.FS), cfg.StateDir, cfg.logf)
+	}
 	sr := newStreamRun(cfg)
 	if err := sr.runner.Run(noCtx()); err != nil {
 		return nil, err

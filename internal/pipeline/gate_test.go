@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"clientmap/internal/statefs"
 )
 
 // recordingGate is a scripted Gate: per-stage answers, with every
@@ -207,7 +209,7 @@ func TestWriteAtomicConcurrentDuplicates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := writeAtomic(path, data); err != nil {
+			if err := (statefs.Disk{}).WriteAtomic(path, data); err != nil {
 				errs <- err
 			}
 		}()

@@ -28,13 +28,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 
 	"clientmap/internal/metrics"
 	"clientmap/internal/par"
 	"clientmap/internal/snapshot"
+	"clientmap/internal/statefs"
 )
 
 // ErrStopped reports a run aborted by Options.StopAfter. Artifacts
@@ -70,6 +70,11 @@ type Options struct {
 	// Dir is the state directory artifacts are checkpointed into; empty
 	// disables persistence entirely (every stage runs in memory).
 	Dir string
+	// FS is the state-I/O seam checkpoints are written and restored
+	// through; nil means the durable on-disk implementation
+	// (statefs.Disk). Tests inject statefs.Faulty to drill torn writes,
+	// ENOSPC and silent bit rot against the checkpoint path.
+	FS statefs.FS
 	// Resume reuses artifacts in Dir whose fingerprints match. Without
 	// it, existing artifacts are ignored and overwritten — the "I
 	// changed something invisible to fingerprints, start clean" escape
@@ -141,6 +146,7 @@ type Stage[T any] struct {
 // Runner executes registered stages.
 type Runner struct {
 	opts    Options
+	fs      statefs.FS
 	stages  []Handle
 	stopped chan struct{}
 	stopOne func()
@@ -148,7 +154,7 @@ type Runner struct {
 
 // New returns a Runner with the given options.
 func New(opts Options) *Runner {
-	r := &Runner{opts: opts, stopped: make(chan struct{})}
+	r := &Runner{opts: opts, fs: statefs.Or(opts.FS), stopped: make(chan struct{})}
 	var once bool
 	r.stopOne = func() {
 		if !once {
@@ -320,7 +326,7 @@ func (s *Stage[T]) produce(ctx context.Context, r *Runner) error {
 		Version:     s.codec.Version,
 		Fingerprint: s.m.fingerprint,
 	}, func(w *snapshot.Writer) { s.codec.Encode(w, out) })
-	if err := writeAtomic(s.path(r), data); err != nil {
+	if err := r.fs.WriteAtomic(s.path(r), data); err != nil {
 		return fmt.Errorf("checkpointing: %w", err)
 	}
 	s.m.artifactHash = payloadHash
@@ -372,7 +378,7 @@ func (s *Stage[T]) awaitGate(ctx context.Context, r *Runner) error {
 // must not wedge a run.
 func (s *Stage[T]) tryRestore(r *Runner) bool {
 	path := s.path(r)
-	data, err := os.ReadFile(path)
+	data, err := r.fs.ReadFile(path)
 	if err != nil {
 		return false
 	}
@@ -411,42 +417,6 @@ func (s *Stage[T]) tryRestore(r *Runner) bool {
 
 func (s *Stage[T]) path(r *Runner) string {
 	return filepath.Join(r.opts.Dir, s.m.name+".snap")
-}
-
-// writeAtomic writes data via a temp file + rename so a kill mid-write
-// never leaves a torn checkpoint behind. The temp name is unique per
-// writer: shard runners sharing a state directory may checkpoint the
-// same stage concurrently (duplicate builds are deterministic and
-// byte-identical), and a fixed temp name would let one writer rename the
-// other's half-written file.
-func writeAtomic(path string, data []byte) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
 }
 
 // FanOut registers n sibling persisted stages named "<base>/shard-<i>",

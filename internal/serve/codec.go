@@ -3,10 +3,10 @@ package serve
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"clientmap/internal/netx"
 	"clientmap/internal/snapshot"
+	"clientmap/internal/statefs"
 )
 
 // KindClientMap is the snapshot artifact kind of the serving map. The
@@ -83,12 +83,14 @@ func DecodeClientMap(r *snapshot.Reader) (*ClientMap, error) {
 	cm.Meta.BuiltAt = r.Time()
 	cm.Meta.Source = r.String()
 
-	n := r.Int()
+	n := r.SliceLen(7)
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
 	// Zero-length sections decode to nil so an empty map round-trips to
-	// itself (reflect-equal, and re-encodes to identical bytes).
+	// itself (reflect-equal, and re-encodes to identical bytes). SliceLen
+	// bounds every count against the remaining payload, so a forged
+	// count cannot drive the append loops past the bytes that exist.
 	if n > 0 {
 		cm.Scopes = make([]ScopeEvidence, 0, clampCap(n))
 	}
@@ -99,7 +101,7 @@ func DecodeClientMap(r *snapshot.Reader) (*ClientMap, error) {
 		e.PassMask = r.Uvarint()
 		e.Domains = r.Int()
 		e.Confidence = r.Float64()
-		np := r.Int()
+		np := r.SliceLen(2)
 		if r.Err() != nil {
 			return nil, r.Err()
 		}
@@ -112,7 +114,7 @@ func DecodeClientMap(r *snapshot.Reader) (*ClientMap, error) {
 		cm.Scopes = append(cm.Scopes, e)
 	}
 
-	n = r.Int()
+	n = r.SliceLen(4)
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
@@ -128,7 +130,7 @@ func DecodeClientMap(r *snapshot.Reader) (*ClientMap, error) {
 		})
 	}
 
-	n = r.Int()
+	n = r.SliceLen(3)
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
@@ -145,7 +147,7 @@ func DecodeClientMap(r *snapshot.Reader) (*ClientMap, error) {
 		})
 	}
 
-	n = r.Int()
+	n = r.SliceLen(2)
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
@@ -206,39 +208,23 @@ func Unmarshal(data []byte) (*ClientMap, string, error) {
 	return cm, hash, nil
 }
 
-// WriteFile atomically writes cm to path (temp file + rename, the same
-// discipline the pipeline checkpoints use) and returns the payload hash.
+// WriteFile atomically writes cm to path (statefs.Disk — fsync'd temp
+// file + rename, the same discipline the pipeline checkpoints use) and
+// returns the payload hash. A concurrent reader (clientmapd's reload
+// poller) only ever sees a complete artifact.
 func WriteFile(path string, cm *ClientMap) (string, error) {
+	return WriteFileTo(nil, path, cm)
+}
+
+// WriteFileTo is WriteFile through an explicit state-I/O seam (nil
+// means statefs.Disk); the streaming harness routes the rolling
+// artifact through the same fault-injecting FS as its checkpoints.
+func WriteFileTo(fsys statefs.FS, path string, cm *ClientMap) (string, error) {
 	data, hash := Marshal(cm)
-	if err := writeFileAtomic(path, data); err != nil {
+	if err := statefs.Or(fsys).WriteAtomic(path, data); err != nil {
 		return "", err
 	}
 	return hash, nil
-}
-
-// writeFileAtomic writes data to path via temp file + rename, so a
-// concurrent reader (clientmapd's reload poller) only ever sees a
-// complete artifact.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".clientmap-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
 }
 
 // ReadFile loads and validates a ClientMap snapshot from disk.

@@ -27,6 +27,11 @@ type serveMetrics struct {
 	reloads         *metrics.Counter
 	reloadErrors    *metrics.Counter
 	generation      *metrics.Gauge
+
+	drainStarted    *metrics.Counter
+	drainDNSDropped *metrics.Counter
+	drainTimeouts   *metrics.Counter
+	drainCompleted  *metrics.Counter
 }
 
 func newServeMetrics(reg *metrics.Registry) *serveMetrics {
@@ -43,6 +48,10 @@ func newServeMetrics(reg *metrics.Registry) *serveMetrics {
 		reloads:         reg.Counter("serve.reloads"),
 		reloadErrors:    reg.Counter("serve.reload_errors"),
 		generation:      reg.Gauge("serve.generation"),
+		drainStarted:    reg.Counter("serve.drain.started"),
+		drainDNSDropped: reg.Counter("serve.drain.dns_dropped"),
+		drainTimeouts:   reg.Counter("serve.drain.timeouts"),
+		drainCompleted:  reg.Counter("serve.drain.completed"),
 	}
 }
 
@@ -310,6 +319,50 @@ func (d *Daemon) reloadLoop() {
 			d.Reload() // errors already counted inside
 		}
 	}
+}
+
+// Drain gracefully shuts the daemon down: every listener stops
+// accepting, in-flight DNS and HTTP queries get up to timeout to finish
+// and write their responses, then everything closes. Returns true when
+// nothing in flight was abandoned. Counted under serve.drain.*; a later
+// Close is a no-op.
+func (d *Daemon) Drain(timeout time.Duration) bool {
+	d.closeMu.Lock()
+	if d.closed {
+		d.closeMu.Unlock()
+		return true
+	}
+	d.closed = true
+	close(d.stop)
+	d.closeMu.Unlock()
+
+	d.met.drainStarted.Inc()
+	clean := true
+	if d.dnsSrv != nil {
+		if !d.dnsSrv.Drain(timeout) {
+			clean = false
+			d.met.drainTimeouts.Inc()
+		}
+		d.met.drainDNSDropped.Add(d.dnsSrv.DrainDropped())
+	}
+	if d.httpSrv != nil {
+		// http.Server.Shutdown is the same contract: stop accepting,
+		// wait for in-flight requests, give up at the deadline.
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		if err := d.httpSrv.Shutdown(ctx); err != nil {
+			clean = false
+			d.met.drainTimeouts.Inc()
+		}
+		cancel()
+	}
+	if d.debug != nil {
+		d.debug.Close()
+	}
+	d.stopped.Wait()
+	if clean {
+		d.met.drainCompleted.Inc()
+	}
+	return clean
 }
 
 // Close shuts every listener down and waits for the reload loop.

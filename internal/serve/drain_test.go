@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"clientmap/internal/dnsnet"
+	"clientmap/internal/dnswire"
+)
+
+// TestDaemonDrain: SIGTERM's code path — queries answered before the
+// drain, the drain completing cleanly, counters recording it, and the
+// listeners actually gone afterwards.
+func TestDaemonDrain(t *testing.T) {
+	d, _ := startDaemon(t, testClientMap(t))
+	reg := d.reg
+
+	// A burst of concurrent traffic on both transports, all of it issued
+	// before the drain: every query must be answered.
+	q := dnswire.NewQuery(4242, "17.2.0.192.clientmap", dnswire.TypeA)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := &dnsnet.UDPClient{Timeout: 5 * time.Second}
+			if _, err := cl.Exchange(context.Background(), d.DNSUDPAddr(), q); err != nil {
+				errs <- err
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get("http://" + d.HTTPAddr() + "/v1/ip/192.0.2.17")
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("pre-drain query failed: %v", err)
+	}
+
+	if !d.Drain(5 * time.Second) {
+		t.Fatal("drain with no in-flight work should complete cleanly")
+	}
+	led := reg.SnapshotPrefix("serve.drain.")
+	if led["serve.drain.started"] != 1 || led["serve.drain.completed"] != 1 {
+		t.Fatalf("drain counters = %v", led)
+	}
+	if led["serve.drain.timeouts"] != 0 {
+		t.Fatalf("unexpected drain timeout: %v", led)
+	}
+
+	// The sockets are gone: new queries fail instead of hanging.
+	cl := &dnsnet.UDPClient{Timeout: 200 * time.Millisecond}
+	if _, err := cl.Exchange(context.Background(), d.DNSUDPAddr(), q); err == nil {
+		t.Error("DNS socket still answering after drain")
+	}
+	if _, err := http.Get("http://" + d.HTTPAddr() + "/v1/summary"); err == nil {
+		t.Error("HTTP listener still answering after drain")
+	}
+
+	// Close after Drain is a no-op, and a second Drain too.
+	if err := d.Close(); err != nil {
+		t.Fatalf("close after drain: %v", err)
+	}
+	if !d.Drain(time.Second) {
+		t.Fatal("drain after close should be a clean no-op")
+	}
+	if got := reg.SnapshotPrefix("serve.drain.")["serve.drain.started"]; got != 1 {
+		t.Fatalf("re-drain should not recount: started=%d", got)
+	}
+}

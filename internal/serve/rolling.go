@@ -1,5 +1,7 @@
 package serve
 
+import "clientmap/internal/statefs"
+
 // Rolling-artifact export for the streaming mode: the stream assembles a
 // fresh ClientMap every emitted sim hour and hands it here; the exporter
 // atomically replaces the artifact file only when the map's payload hash
@@ -14,6 +16,9 @@ type RollingExporter struct {
 	// Path is the artifact file clientmapd watches. Empty disables
 	// export (Export still hashes, so callers get the map identity).
 	Path string
+	// FS is the state-I/O seam the artifact is written through; nil
+	// means statefs.Disk.
+	FS statefs.FS
 
 	lastHash string
 	writes   int
@@ -31,7 +36,7 @@ func (e *RollingExporter) Export(cm *ClientMap) (hash string, wrote bool, err er
 	if hash == e.lastHash {
 		return hash, false, nil
 	}
-	if err := writeFileAtomic(e.Path, data); err != nil {
+	if err := statefs.Or(e.FS).WriteAtomic(e.Path, data); err != nil {
 		return hash, false, err
 	}
 	e.lastHash = hash

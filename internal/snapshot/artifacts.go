@@ -86,7 +86,7 @@ func EncodeSet24(w *Writer, s *netx.Set24) {
 
 // DecodeSet24 reads a set written by EncodeSet24.
 func DecodeSet24(r *Reader) *netx.Set24 {
-	n := r.Int()
+	n := r.SliceLen(1)
 	s := &netx.Set24{}
 	cur := uint64(0)
 	for i := 0; i < n; i++ {
@@ -288,18 +288,18 @@ func encodeHealthLedger(w *Writer, l *health.Ledger) {
 // collections decode as nil, matching an in-memory campaign that never
 // touched them.
 func decodeHealthLedger(r *Reader, l *health.Ledger) {
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(2); n > 0 {
 		l.Windows = make(map[string][]health.WindowSum, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			target := r.String()
-			sums := make([]health.WindowSum, r.Int())
+			sums := make([]health.WindowSum, r.SliceLen(3))
 			for j := range sums {
 				sums[j] = health.WindowSum{Index: r.Varint(), OK: r.Varint(), Fail: r.Varint()}
 			}
 			l.Windows[target] = sums
 		}
 	}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(4); n > 0 {
 		l.Transitions = make([]health.Transition, n)
 		for i := range l.Transitions {
 			l.Transitions[i] = health.Transition{
@@ -312,7 +312,7 @@ func decodeHealthLedger(r *Reader, l *health.Ledger) {
 	}
 	l.HedgesFired = r.Varint()
 	l.HedgesWon = r.Varint()
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(7); n > 0 {
 		l.Coverage = make([]health.PassCoverage, n)
 		for i := range l.Coverage {
 			l.Coverage[i] = health.PassCoverage{
@@ -326,18 +326,18 @@ func decodeHealthLedger(r *Reader, l *health.Ledger) {
 			}
 		}
 	}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(2); n > 0 {
 		l.FailedOver = make(map[string]int64, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			pop := r.String()
 			l.FailedOver[pop] = r.Varint()
 		}
 	}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(2); n > 0 {
 		l.LostTasks = make(map[string]map[int]int, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			pop := r.String()
-			m := r.Int()
+			m := r.SliceLen(2)
 			tasks := make(map[int]int, m)
 			for j := 0; j < m; j++ {
 				ti := r.Int()
@@ -358,7 +358,7 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 	c.ProbesSent = r.Int()
 	c.PreScanQueries = r.Int()
 
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(1); n > 0 {
 		c.PassTimes = make([]time.Time, n)
 		for i := range c.PassTimes {
 			c.PassTimes[i] = r.Time()
@@ -373,7 +373,7 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 			RadiusKm: r.Float64(),
 			Assigned: r.Int(),
 		}
-		if m := r.Int(); m > 0 {
+		if m := r.SliceLen(1); m > 0 {
 			cal.HitDistancesKm = make([]float64, m)
 			for j := range cal.HitDistancesKm {
 				cal.HitDistancesKm[j] = r.Float64()
@@ -384,7 +384,7 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 
 	for i, n := 0, r.Int(); i < n && r.Err() == nil; i++ {
 		d := r.String()
-		m := r.Int()
+		m := r.SliceLen(2)
 		var scopes []netx.Prefix
 		if m > 0 {
 			scopes = make([]netx.Prefix, m)
@@ -397,7 +397,7 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 
 	for i, n := 0, r.Int(); i < n && r.Err() == nil; i++ {
 		d := r.String()
-		m := r.Int()
+		m := r.SliceLen(2)
 		hits := make(map[netx.Prefix]*cacheprobe.Hit, m)
 		for j := 0; j < m && r.Err() == nil; j++ {
 			key := DecodePrefix(r)
@@ -409,7 +409,7 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 				Count:      r.Int(),
 				PassMask:   r.Uvarint(),
 			}
-			if t := r.Int(); t > 0 {
+			if t := r.SliceLen(1); t > 0 {
 				h.Times = make([]time.Time, t)
 				for k := range h.Times {
 					h.Times[k] = r.Time()
@@ -422,7 +422,7 @@ func DecodeCampaign(r *Reader) (*cacheprobe.Campaign, error) {
 
 	for i, n := 0, r.Int(); i < n && r.Err() == nil; i++ {
 		d := r.String()
-		m := r.Int()
+		m := r.SliceLen(2)
 		diffs := make(map[int]int, m)
 		for j := 0; j < m; j++ {
 			k := r.Int()
@@ -484,7 +484,7 @@ func DecodeDNSLogs(r *Reader) (*dnslogs.Result, error) {
 	res.TotalQueries = r.Float64()
 	res.PatternMatches = r.Float64()
 	res.FilteredNames = r.Int()
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(1); n > 0 {
 		res.LettersRead = make([]string, n)
 		for i := range res.LettersRead {
 			res.LettersRead[i] = r.String()
@@ -630,7 +630,7 @@ func EncodeASDB(w *Writer, db *asdb.DB) {
 
 // DecodeASDB reads a database written by EncodeASDB.
 func DecodeASDB(r *Reader) (*asdb.DB, error) {
-	n := r.Int()
+	n := r.SliceLen(2)
 	m := make(map[uint32]world.Category, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		asn := uint32(r.Uvarint())
@@ -666,7 +666,7 @@ func EncodePrefixDataset(w *Writer, d *datasets.PrefixDataset) {
 func DecodePrefixDataset(r *Reader) (*datasets.PrefixDataset, error) {
 	d := &datasets.PrefixDataset{Name: r.String()}
 	d.Set = DecodeSet24(r)
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(2); n > 0 {
 		d.Volume = make(map[netx.Slash24]float64, n)
 		cur := uint64(0)
 		for i := 0; i < n && r.Err() == nil; i++ {

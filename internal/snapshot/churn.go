@@ -1,8 +1,6 @@
 package snapshot
 
 import (
-	"fmt"
-
 	"clientmap/internal/churn"
 	"clientmap/internal/netx"
 )
@@ -67,19 +65,17 @@ func EncodeChurnEvents(w *Writer, evs []churn.Event) {
 
 // DecodeChurnEvents reads an event list written by EncodeChurnEvents.
 func DecodeChurnEvents(r *Reader) ([]churn.Event, error) {
-	n := r.Int()
+	// Every event encodes to at least 8 bytes, so SliceLen bounds both
+	// the preallocation and the append loop against the payload that is
+	// actually there — a forged count can neither demand gigabytes up
+	// front nor grow them one zero event at a time.
+	n := r.SliceLen(8)
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if n < 0 {
-		return nil, fmt.Errorf("%w: negative churn event count %d", ErrCorrupt, n)
-	}
-	// Cap the preallocation so a corrupt count cannot demand gigabytes;
-	// append still grows to the true element count.
-	const maxPrealloc = 1 << 12
 	var out []churn.Event
 	if n > 0 {
-		out = make([]churn.Event, 0, min(n, maxPrealloc))
+		out = make([]churn.Event, 0, n)
 	}
 	for i := 0; i < n; i++ {
 		out = append(out, DecodeChurnEvent(r))

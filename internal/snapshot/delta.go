@@ -59,14 +59,14 @@ func DecodePassDelta(r *Reader) (*cacheprobe.PassDelta, error) {
 		PassTime:   r.Time(),
 		ProbesSent: r.Int(),
 	}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(2); n > 0 {
 		d.Assigned = make(map[string]int, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			k := r.String()
 			d.Assigned[k] = r.Int()
 		}
 	}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(7); n > 0 {
 		d.Hits = make([]cacheprobe.DeltaHit, n)
 		for i := range d.Hits {
 			d.Hits[i] = cacheprobe.DeltaHit{
@@ -172,7 +172,7 @@ func EncodeShardResult(w *Writer, s *cacheprobe.ShardResult) {
 // DecodeShardResult reads a shard result written by EncodeShardResult.
 func DecodeShardResult(r *Reader) (*cacheprobe.ShardResult, error) {
 	s := &cacheprobe.ShardResult{Pass: r.Int()}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(4); n > 0 {
 		s.Units = make([]cacheprobe.ShardUnit, n)
 		for i := range s.Units {
 			s.Units[i] = cacheprobe.ShardUnit{
@@ -183,7 +183,7 @@ func DecodeShardResult(r *Reader) (*cacheprobe.ShardResult, error) {
 			}
 		}
 	}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(9); n > 0 {
 		s.Tasks = make([]cacheprobe.ShardTaskResult, n)
 		for i := range s.Tasks {
 			t := &s.Tasks[i]
@@ -217,11 +217,11 @@ func DecodeShardResult(r *Reader) (*cacheprobe.ShardResult, error) {
 			s.Metrics[k] = r.Varint()
 		}
 	}
-	if n := r.Int(); n > 0 {
+	if n := r.SliceLen(2); n > 0 {
 		s.Windows = make(map[string][]health.WindowSum, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			target := r.String()
-			sums := make([]health.WindowSum, r.Int())
+			sums := make([]health.WindowSum, r.SliceLen(3))
 			for j := range sums {
 				sums[j] = health.WindowSum{Index: r.Varint(), OK: r.Varint(), Fail: r.Varint()}
 			}

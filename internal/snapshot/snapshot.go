@@ -173,6 +173,29 @@ func (r *Reader) String() string {
 // Time reads an instant written by Writer.Time, in UTC.
 func (r *Reader) Time() time.Time { return time.Unix(0, r.Varint()).UTC() }
 
+// SliceLen reads a count prefixing a sequence whose elements each
+// occupy at least minBytes of encoded payload, and bounds it against
+// what actually remains. The checksum only proves the payload matches
+// what was written, not that what was written is sane: a forged payload
+// can claim a billion-element slice in three bytes, and a decoder that
+// pre-allocates make([]T, n) from it dies on the spot. Negative counts
+// and counts that cannot fit in the remaining bytes fail the reader
+// with ErrCorrupt and return 0.
+func (r *Reader) SliceLen(minBytes int) int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n < 0 || n > (len(r.buf)-r.off)/minBytes {
+		r.fail("sequence count")
+		return 0
+	}
+	return n
+}
+
 // fnv64a is the payload checksum.
 func fnv64a(b []byte) uint64 {
 	var h uint64 = 14695981039346656037

@@ -1,0 +1,156 @@
+// Package statefs is the seam every byte of durable campaign state goes
+// through: checkpoint writes and restores (internal/pipeline), shard
+// steal-claim files (the experiments gate), the rolling serve artifact
+// (serve.RollingExporter) and the streaming hour deltas. Production code
+// uses Disk, which owns the crash-consistency discipline — unique temp
+// file, fsync of the temp, rename, fsync of the parent directory — in
+// exactly one place. Tests inject Faulty (see faulty.go), which speaks
+// the same deterministic fault grammar as internal/faults but for the
+// storage layer: torn renames, ENOSPC mid-checkpoint, silent bit rot.
+//
+// The interface is deliberately small and path-based (no file handles):
+// state I/O in this codebase is whole-file — read a snapshot, atomically
+// replace a snapshot, claim a steal file — and a handle-free surface is
+// what keeps a fault-injecting implementation tractable: every operation
+// is one call with one path, so every fault decision can be a pure hash
+// of (seed, op, path, attempt).
+package statefs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the state-I/O surface. Implementations must be safe for
+// concurrent use: stage goroutines and shard runners call into one FS
+// from many goroutines.
+type FS interface {
+	// ReadFile returns the file's contents (os.ErrNotExist when absent).
+	ReadFile(path string) ([]byte, error)
+	// WriteAtomic replaces path with data all-or-nothing: after it
+	// returns nil the file durably holds data; after an error or a crash
+	// the previous contents (or absence) are still intact. Parent
+	// directories are created as needed.
+	WriteAtomic(path string, data []byte) error
+	// CreateExclusive creates path with data, failing with os.ErrExist
+	// if it already exists — the cross-process claim primitive the shard
+	// gate's steal files rely on.
+	CreateExclusive(path string, data []byte) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// Remove deletes a file or empty directory.
+	Remove(path string) error
+	// Rename moves a file, replacing any existing target.
+	Rename(oldpath, newpath string) error
+	// ReadDir lists a directory (os.ErrNotExist when absent).
+	ReadDir(path string) ([]os.DirEntry, error)
+}
+
+// Or returns fs, or Disk when fs is nil — the resolution every consumer
+// applies so a zero-value config means "the real disk".
+func Or(fs FS) FS {
+	if fs == nil {
+		return Disk{}
+	}
+	return fs
+}
+
+// Disk is the production FS: the operating system's filesystem plus the
+// crash-consistency discipline for atomic replacement.
+type Disk struct{}
+
+// ReadFile implements FS.
+func (Disk) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteAtomic implements FS: temp file + fsync + rename + parent-dir
+// fsync. The temp name is unique per writer (CreateTemp's random
+// suffix): shard runners sharing a state directory may checkpoint the
+// same stage concurrently — duplicate builds are deterministic and
+// byte-identical — and a fixed temp name would let one writer rename
+// the other's half-written file. The two fsyncs close the durability
+// gap a bare rename leaves open: without syncing the temp file first, a
+// host crash after the rename can surface an empty-but-renamed
+// checkpoint (the rename metadata reached the journal before the data
+// blocks); without syncing the parent directory, the rename itself may
+// not survive the crash.
+func (Disk) WriteAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a host
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// CreateExclusive implements FS. The claim content is small and the
+// claim's loss on crash is harmless (a lost claim is re-raced), but it
+// is synced anyway: a claim that survives while the checkpoint it
+// guards does not would be read as "someone is building this" forever.
+func (Disk) CreateExclusive(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// MkdirAll implements FS.
+func (Disk) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// Remove implements FS.
+func (Disk) Remove(path string) error { return os.Remove(path) }
+
+// Rename implements FS.
+func (Disk) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// ReadDir implements FS.
+func (Disk) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }

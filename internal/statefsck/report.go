@@ -1,0 +1,91 @@
+package statefsck
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// classOrder fixes the rendering and counting order of classes.
+var classOrder = []Class{
+	ClassValid, ClassCorrupt, ClassVersionMismatch, ClassBrokenChain,
+	ClassOrphanTmp, ClassStaleClaim, ClassAux,
+}
+
+// Problems counts findings that demand attention: everything that is
+// neither a valid checkpoint nor deliberately-ignored aux state.
+func (r *Report) Problems() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Class != ClassValid && f.Class != ClassAux {
+			n++
+		}
+	}
+	return n
+}
+
+// Repaired counts findings whose planned action was executed.
+func (r *Report) Repaired() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Applied {
+			n++
+		}
+	}
+	return n
+}
+
+// counts tallies findings per class.
+func (r *Report) counts() map[Class]int {
+	m := make(map[Class]int)
+	for _, f := range r.Findings {
+		m[f.Class]++
+	}
+	return m
+}
+
+// Summary renders the one-line verdict, e.g.
+// "7 entries: 4 valid, 1 corrupt, 2 orphan-tmp; 3 repaired".
+func (r *Report) Summary() string {
+	if len(r.Findings) == 0 {
+		return "empty state directory: nothing to check"
+	}
+	m := r.counts()
+	parts := make([]string, 0, len(classOrder))
+	for _, c := range classOrder {
+		if m[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", m[c], c))
+		}
+	}
+	s := fmt.Sprintf("%d entries: %s", len(r.Findings), strings.Join(parts, ", "))
+	if n := r.Repaired(); n > 0 {
+		s += fmt.Sprintf("; %d repaired", n)
+	}
+	return s
+}
+
+// Text renders the full deterministic report: one line per finding,
+// sorted by path, followed by the summary line.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "statefsck %s\n", r.Dir)
+	for _, f := range r.Findings {
+		action := string(f.Action)
+		if f.Applied {
+			action += "!"
+		}
+		fmt.Fprintf(&b, "  %-16s %-11s %s", f.Class, action, f.Path)
+		if f.Detail != "" {
+			fmt.Fprintf(&b, "  (%s)", f.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s\n", r.Summary())
+	return b.String()
+}
+
+// JSON renders the report as indented JSON, stable for a given
+// directory state.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

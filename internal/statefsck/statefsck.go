@@ -1,0 +1,483 @@
+// Package statefsck is the state-directory scanner/repairer: the tool
+// that turns "the disk lied to a campaign" from a stranded run into a
+// diagnosis and a repair. It walks a pipeline state directory (see
+// internal/pipeline), classifies every file — valid checkpoint, corrupt
+// container, version mismatch, orphaned temp file, satisfied steal
+// claim, delta whose base hash no longer verifies — and, in repair
+// mode, quarantines bad checkpoints and sweeps litter so the next
+// -resume rebuilds exactly the damaged suffix instead of wedging or
+// silently trusting rot.
+//
+// Repair invariants:
+//
+//   - Repair never deletes a checkpoint: bad snapshots move to the
+//     quarantine/ subdirectory (flattened name), preserving the
+//     evidence; only temp litter and satisfied claims are removed.
+//   - Repair only subtracts. It never writes or rewrites a checkpoint,
+//     so running it cannot make a state directory less consistent than
+//     it found it — the crash-only property.
+//   - Delta chains (probe-pass-k, stream-hour-k) are truncated from the
+//     first unverifiable link: a delta whose Base hash does not match
+//     its predecessor's payload hash is quarantined along with every
+//     later delta, leaving the longest prefix that still verifies.
+//   - Everything it does not understand is kept ("aux"): fsck's
+//     ignorance must never destroy state.
+//
+// A report is deterministic for a given directory state: findings are
+// sorted by path and carry no timestamps, so two scans of the same
+// damage render byte-identical text and JSON.
+package statefsck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"clientmap/internal/serve"
+	"clientmap/internal/snapshot"
+	"clientmap/internal/statefs"
+	"clientmap/internal/stream"
+)
+
+// Class is a file's classification.
+type Class string
+
+const (
+	// ClassValid is a checkpoint whose container parses, whose checksum
+	// matches, and whose payload decodes under the registered codec.
+	// (Whether its fingerprint matches the current configuration is the
+	// pipeline's business, not fsck's.)
+	ClassValid Class = "valid"
+	// ClassCorrupt is a truncated, checksum-failing or undecodable
+	// snapshot — torn writes and bit rot land here.
+	ClassCorrupt Class = "corrupt"
+	// ClassVersionMismatch is a container written by a different format
+	// or artifact version.
+	ClassVersionMismatch Class = "version-mismatch"
+	// ClassOrphanTmp is temp-file litter (*.tmp-*) left by a killed or
+	// fault-stopped writer.
+	ClassOrphanTmp Class = "orphan-tmp"
+	// ClassStaleClaim is a steal-claim file whose stage checkpoint
+	// exists and verifies: the claim has served its purpose.
+	ClassStaleClaim Class = "stale-claim"
+	// ClassBrokenChain is a structurally valid delta checkpoint whose
+	// base hash cannot be verified against its predecessor.
+	ClassBrokenChain Class = "broken-chain"
+	// ClassAux is everything fsck deliberately leaves alone: traces,
+	// metrics, quarantined files, claims still in flight, foreign files.
+	ClassAux Class = "aux"
+)
+
+// Action is what Scan plans (and Repair executes) for a finding.
+type Action string
+
+const (
+	ActionKeep       Action = "keep"
+	ActionSweep      Action = "sweep"
+	ActionQuarantine Action = "quarantine"
+)
+
+// Finding is one file's classification.
+type Finding struct {
+	// Path is relative to the scanned directory, '/'-separated.
+	Path   string `json:"path"`
+	Class  Class  `json:"class"`
+	Action Action `json:"action"`
+	Detail string `json:"detail,omitempty"`
+	// Applied reports whether Repair executed the action.
+	Applied bool `json:"applied,omitempty"`
+}
+
+// Report is the result of a Scan or Repair, deterministic for a given
+// directory state (findings sorted by path, no timestamps).
+type Report struct {
+	Dir      string    `json:"dir"`
+	Findings []Finding `json:"findings"`
+}
+
+// Options tune a scan.
+type Options struct {
+	// MinTmpAge protects temp files younger than this from sweeping: in
+	// a shared state directory another runner may be mid-write. The
+	// automatic resume-time fsck passes one minute; 0 sweeps all litter
+	// (the explicit-cmd default, where the operator knows the fleet is
+	// down).
+	MinTmpAge time.Duration
+}
+
+// quarantineDir is where Repair moves bad checkpoints, flattened.
+const quarantineDir = "quarantine"
+
+// skipDirs are top-level directories fsck records as aux and does not
+// descend into: their contents are not checkpoint state.
+var skipDirs = map[string]string{
+	quarantineDir: "previously quarantined files",
+	"traces":      "generated DITL root traces",
+	"metrics":     "trace span logs",
+}
+
+// kindSpec registers a deep check for a known artifact kind: the
+// expected version and a decoder. base is the delta's recorded base
+// hash ("" for non-delta kinds).
+type kindSpec struct {
+	version uint16
+	decode  func(*snapshot.Reader) (base string, err error)
+}
+
+var kinds = map[string]kindSpec{
+	snapshot.KindCampaign: {snapshot.VersionCampaign, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodeCampaign(r)
+		return "", err
+	}},
+	snapshot.KindCampaignDelta: {snapshot.VersionCampaignDelta, func(r *snapshot.Reader) (string, error) {
+		d, err := snapshot.DecodePassDelta(r)
+		if err != nil {
+			return "", err
+		}
+		return d.Base, nil
+	}},
+	snapshot.KindShardResult: {snapshot.VersionShardResult, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodeShardResult(r)
+		return "", err
+	}},
+	snapshot.KindDNSLogs: {snapshot.VersionDNSLogs, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodeDNSLogs(r)
+		return "", err
+	}},
+	snapshot.KindCDN: {snapshot.VersionCDN, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodeCDN(r)
+		return "", err
+	}},
+	snapshot.KindAPNIC: {snapshot.VersionAPNIC, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodeAPNIC(r)
+		return "", err
+	}},
+	snapshot.KindASDB: {snapshot.VersionASDB, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodeASDB(r)
+		return "", err
+	}},
+	snapshot.KindPrefixDataset: {snapshot.VersionPrefixDataset, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodePrefixDataset(r)
+		return "", err
+	}},
+	snapshot.KindASDataset: {snapshot.VersionASDataset, func(r *snapshot.Reader) (string, error) {
+		_, err := snapshot.DecodeASDataset(r)
+		return "", err
+	}},
+	snapshot.KindStreamDelta: {snapshot.VersionStreamDelta, func(r *snapshot.Reader) (string, error) {
+		d, err := stream.DecodeHourDelta(r)
+		if err != nil {
+			return "", err
+		}
+		return d.Pass.Base, nil
+	}},
+	serve.KindClientMap: {serve.VersionClientMap, func(r *snapshot.Reader) (string, error) {
+		_, err := serve.DecodeClientMap(r)
+		return "", err
+	}},
+}
+
+// snapInfo is what the walk records per .snap file for the chain and
+// claim passes.
+type snapInfo struct {
+	stage   string // relative path minus ".snap"
+	hash    string // payload hash, valid snaps only
+	base    string // recorded delta base, delta kinds only
+	idx     int    // index into Report.Findings
+	healthy bool
+}
+
+// scanner carries one walk's state.
+type scanner struct {
+	fs       statefs.FS
+	dir      string
+	opts     Options
+	now      time.Time
+	findings []Finding
+	snaps    map[string]*snapInfo // by stage name
+	claims   []int                // finding indices of .steal files
+}
+
+// Scan walks dir and classifies every file without touching anything.
+// A missing directory yields an empty report: nothing to check is not
+// an error (first run with -resume).
+func Scan(fsys statefs.FS, dir string, opts Options) (*Report, error) {
+	s := &scanner{
+		fs:    statefs.Or(fsys),
+		dir:   dir,
+		opts:  opts,
+		now:   time.Now(),
+		snaps: make(map[string]*snapInfo),
+	}
+	if err := s.walk(""); err != nil {
+		return nil, err
+	}
+	s.verifyChain("probe-pass-")
+	s.verifyChain("stream-hour-")
+	s.resolveClaims()
+	sort.Slice(s.findings, func(i, j int) bool { return s.findings[i].Path < s.findings[j].Path })
+	return &Report{Dir: dir, Findings: s.findings}, nil
+}
+
+// Repair scans and then executes the planned actions: sweeps are
+// removed, quarantines are renamed into quarantine/ (flattened path).
+// A failed action downgrades to a kept finding with the error in the
+// detail — repair must never wedge on a half-broken filesystem.
+func Repair(fsys statefs.FS, dir string, opts Options) (*Report, error) {
+	rep, err := Scan(fsys, dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	fs := statefs.Or(fsys)
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		abs := filepath.Join(dir, filepath.FromSlash(f.Path))
+		switch f.Action {
+		case ActionSweep:
+			if err := fs.Remove(abs); err != nil {
+				f.Detail += "; sweep failed: " + err.Error()
+			} else {
+				f.Applied = true
+			}
+		case ActionQuarantine:
+			qdir := filepath.Join(dir, quarantineDir)
+			if err := fs.MkdirAll(qdir); err != nil {
+				f.Detail += "; quarantine failed: " + err.Error()
+				continue
+			}
+			dst := filepath.Join(qdir, strings.ReplaceAll(f.Path, "/", "__"))
+			if err := fs.Rename(abs, dst); err != nil {
+				f.Detail += "; quarantine failed: " + err.Error()
+			} else {
+				f.Applied = true
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (s *scanner) add(f Finding) int {
+	s.findings = append(s.findings, f)
+	return len(s.findings) - 1
+}
+
+func (s *scanner) walk(rel string) error {
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, filepath.FromSlash(rel)))
+	if err != nil {
+		if rel == "" && errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		sub := name
+		if rel != "" {
+			sub = rel + "/" + name
+		}
+		if e.IsDir() {
+			if rel == "" {
+				if why, skip := skipDirs[name]; skip {
+					s.add(Finding{Path: sub + "/", Class: ClassAux, Action: ActionKeep, Detail: why})
+					continue
+				}
+			}
+			if err := s.walk(sub); err != nil {
+				return err
+			}
+			continue
+		}
+		s.classify(sub, e)
+	}
+	return nil
+}
+
+func (s *scanner) classify(rel string, e os.DirEntry) {
+	base := filepath.Base(rel)
+	switch {
+	case strings.Contains(base, ".tmp-"):
+		s.classifyTmp(rel, e)
+	case strings.HasSuffix(base, ".steal"):
+		s.claims = append(s.claims, s.add(Finding{
+			Path: rel, Class: ClassAux, Action: ActionKeep,
+			Detail: "steal claim — stage not checkpointed, owner may be mid-build",
+		}))
+	case strings.HasSuffix(base, ".snap"):
+		s.classifySnap(rel)
+	default:
+		s.add(Finding{Path: rel, Class: ClassAux, Action: ActionKeep, Detail: "not checkpoint state"})
+	}
+}
+
+func (s *scanner) classifyTmp(rel string, e os.DirEntry) {
+	if s.opts.MinTmpAge > 0 {
+		if info, err := e.Info(); err == nil && s.now.Sub(info.ModTime()) < s.opts.MinTmpAge {
+			s.add(Finding{
+				Path: rel, Class: ClassOrphanTmp, Action: ActionKeep,
+				Detail: fmt.Sprintf("temp file younger than %s — a live writer may own it", s.opts.MinTmpAge),
+			})
+			return
+		}
+	}
+	s.add(Finding{Path: rel, Class: ClassOrphanTmp, Action: ActionSweep,
+		Detail: "temp litter from a dead writer"})
+}
+
+func (s *scanner) classifySnap(rel string) {
+	stage := strings.TrimSuffix(rel, ".snap")
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, filepath.FromSlash(rel)))
+	if err != nil {
+		s.snaps[stage] = &snapInfo{stage: stage, idx: s.add(Finding{
+			Path: rel, Class: ClassCorrupt, Action: ActionQuarantine,
+			Detail: "unreadable: " + err.Error(),
+		})}
+		return
+	}
+	h, r, hash, err := snapshot.Open(data)
+	if err != nil {
+		class := ClassCorrupt
+		if errors.Is(err, snapshot.ErrVersionMismatch) {
+			class = ClassVersionMismatch
+		}
+		s.snaps[stage] = &snapInfo{stage: stage, idx: s.add(Finding{
+			Path: rel, Class: class, Action: ActionQuarantine, Detail: err.Error(),
+		})}
+		return
+	}
+	spec, known := kinds[h.Kind]
+	if !known {
+		s.snaps[stage] = &snapInfo{stage: stage, hash: hash, healthy: true, idx: s.add(Finding{
+			Path: rel, Class: ClassValid, Action: ActionKeep,
+			Detail: fmt.Sprintf("%s v%d, checksum ok (kind not deep-checked)", h.Kind, h.Version),
+		})}
+		return
+	}
+	if err := snapshot.Check(h, h.Kind, spec.version); err != nil {
+		s.snaps[stage] = &snapInfo{stage: stage, idx: s.add(Finding{
+			Path: rel, Class: ClassVersionMismatch, Action: ActionQuarantine, Detail: err.Error(),
+		})}
+		return
+	}
+	dbase, err := spec.decode(r)
+	if err != nil {
+		s.snaps[stage] = &snapInfo{stage: stage, idx: s.add(Finding{
+			Path: rel, Class: ClassCorrupt, Action: ActionQuarantine,
+			Detail: "checksum ok but payload does not decode: " + err.Error(),
+		})}
+		return
+	}
+	detail := fmt.Sprintf("%s v%d", h.Kind, h.Version)
+	if dbase != "" {
+		detail += fmt.Sprintf(", base %.12s", dbase)
+	}
+	s.snaps[stage] = &snapInfo{stage: stage, hash: hash, base: dbase, healthy: true,
+		idx: s.add(Finding{Path: rel, Class: ClassValid, Action: ActionKeep, Detail: detail})}
+}
+
+// chainStage matches top-level delta stages: "<prefix><k>" with no
+// directory component (shard sub-stages verify standalone).
+var chainStage = regexp.MustCompile(`^(probe-pass-|stream-hour-)(\d+)$`)
+
+// chainAnchor is the stage whose payload hash the first delta of every
+// chain records as its base.
+const chainAnchor = "calibration"
+
+// verifyChain truncates the prefix's delta chain at the first link
+// whose base cannot be verified: a missing or unhealthy predecessor, or
+// a base hash that does not match the predecessor's payload hash. The
+// broken delta and every later one are re-classified broken-chain and
+// quarantined — resume then rebuilds exactly the damaged suffix.
+func (s *scanner) verifyChain(prefix string) {
+	byK := make(map[int]*snapInfo)
+	maxK := -1
+	for stage, info := range s.snaps {
+		m := chainStage.FindStringSubmatch(stage)
+		if m == nil || m[1] != prefix {
+			continue
+		}
+		k, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		byK[k] = info
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK < 0 {
+		return
+	}
+	prevHash, prevName := "", chainAnchor
+	if a, ok := s.snaps[chainAnchor]; ok && a.healthy {
+		prevHash = a.hash
+	}
+	broken := ""
+	for k := 0; k <= maxK; k++ {
+		info, ok := byK[k]
+		if !ok { // gap: later deltas have no verifiable lineage
+			if broken == "" {
+				broken = fmt.Sprintf("%s%d missing", prefix, k)
+			}
+			prevHash, prevName = "", fmt.Sprintf("%s%d", prefix, k)
+			continue
+		}
+		if !info.healthy { // already corrupt/mismatched; later deltas lose their base
+			if broken == "" {
+				broken = fmt.Sprintf("%s%d is %s", prefix, k, s.findings[info.idx].Class)
+			}
+			prevHash, prevName = "", info.stage
+			continue
+		}
+		switch {
+		case broken != "":
+			s.reclass(info, fmt.Sprintf("chain truncated: %s", broken))
+		case prevHash == "":
+			s.reclass(info, fmt.Sprintf("base %s unverifiable (%s missing or invalid)", prevName, prevName))
+			broken = prevName + " unverifiable"
+		case info.base != prevHash:
+			s.reclass(info, fmt.Sprintf("base %.12s does not match %s payload %.12s", info.base, prevName, prevHash))
+			broken = fmt.Sprintf("%s%d base mismatch", prefix, k)
+		}
+		prevHash, prevName = info.hash, info.stage
+		if s.findings[info.idx].Class == ClassBrokenChain {
+			prevHash = "" // a quarantined link cannot anchor its successor
+		}
+	}
+}
+
+// reclass downgrades a valid delta to broken-chain.
+func (s *scanner) reclass(info *snapInfo, detail string) {
+	f := &s.findings[info.idx]
+	f.Class = ClassBrokenChain
+	f.Action = ActionQuarantine
+	f.Detail = detail
+	info.healthy = false
+}
+
+// resolveClaims marks steal claims whose stage checkpoint exists and
+// verifies as stale (sweep). The claim filename is the stage name with
+// '/' flattened to '_' (see experiments.fileGate.claim); fsck applies
+// the same forward mapping to every known-good stage rather than trying
+// to invert the ambiguous flattening.
+func (s *scanner) resolveClaims() {
+	satisfied := make(map[string]string) // claim base name -> stage
+	for stage, info := range s.snaps {
+		if info.healthy {
+			satisfied[strings.ReplaceAll(stage, "/", "_")+".steal"] = stage
+		}
+	}
+	for _, idx := range s.claims {
+		f := &s.findings[idx]
+		if stage, ok := satisfied[filepath.Base(f.Path)]; ok {
+			f.Class = ClassStaleClaim
+			f.Action = ActionSweep
+			f.Detail = fmt.Sprintf("claim satisfied: %s checkpoint is valid", stage)
+		}
+	}
+}

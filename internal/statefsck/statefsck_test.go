@@ -1,0 +1,438 @@
+package statefsck
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clientmap/internal/core/cacheprobe"
+	"clientmap/internal/snapshot"
+	"clientmap/internal/statefs"
+)
+
+// writeDelta persists a minimal PassDelta checkpoint for stage and
+// returns its payload hash. Chain tests thread hashes through Base.
+func writeDelta(t *testing.T, dir, stage, base string) string {
+	t.Helper()
+	return writeDeltaVersion(t, dir, stage, base, snapshot.VersionCampaignDelta)
+}
+
+func writeDeltaVersion(t *testing.T, dir, stage, base string, version uint16) string {
+	t.Helper()
+	d := &cacheprobe.PassDelta{Base: base, Passes: 4}
+	h := snapshot.Header{Kind: snapshot.KindCampaignDelta, Version: version, Fingerprint: "fp"}
+	data, hash := snapshot.Marshal(h, func(w *snapshot.Writer) { snapshot.EncodePassDelta(w, d) })
+	writeRaw(t, dir, stage+".snap", data)
+	return hash
+}
+
+func writeRaw(t *testing.T, dir, rel string, data []byte) {
+	t.Helper()
+	path := filepath.Join(dir, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chainDir builds calibration + probe-pass-0..n-1 correctly chained.
+func chainDir(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	hashes := make([]string, 0, n+1)
+	h := writeDelta(t, dir, "calibration", "")
+	hashes = append(hashes, h)
+	for k := 0; k < n; k++ {
+		h = writeDelta(t, dir, ProbePass(k), h)
+		hashes = append(hashes, h)
+	}
+	return hashes
+}
+
+func ProbePass(k int) string { return "probe-pass-" + string(rune('0'+k)) }
+
+// findingFor returns the finding for a relative path, failing if absent.
+func findingFor(t *testing.T, rep *Report, path string) Finding {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Path == path {
+			return f
+		}
+	}
+	t.Fatalf("no finding for %q in:\n%s", path, rep.Text())
+	return Finding{}
+}
+
+func TestScanMissingDir(t *testing.T) {
+	rep, err := Scan(nil, filepath.Join(t.TempDir(), "never-created"), Options{})
+	if err != nil {
+		t.Fatalf("missing dir should scan clean: %v", err)
+	}
+	if len(rep.Findings) != 0 || rep.Problems() != 0 {
+		t.Fatalf("expected empty report, got:\n%s", rep.Text())
+	}
+	if got := rep.Summary(); got != "empty state directory: nothing to check" {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+func TestScanValidChain(t *testing.T) {
+	dir := t.TempDir()
+	chainDir(t, dir, 3)
+	rep, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Problems() != 0 {
+		t.Fatalf("clean chain reported problems:\n%s", rep.Text())
+	}
+	if len(rep.Findings) != 4 {
+		t.Fatalf("want 4 findings, got:\n%s", rep.Text())
+	}
+	for _, f := range rep.Findings {
+		if f.Class != ClassValid || f.Action != ActionKeep {
+			t.Fatalf("finding %+v not valid/keep", f)
+		}
+	}
+
+	// Determinism: scanning the same damage twice renders byte-identical
+	// text and JSON.
+	rep2, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Text() != rep2.Text() {
+		t.Fatal("Text() not deterministic")
+	}
+	j1, _ := rep.JSON()
+	j2, _ := rep2.JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("JSON() not deterministic")
+	}
+}
+
+func TestClassifyDamage(t *testing.T) {
+	dir := t.TempDir()
+	hashes := chainDir(t, dir, 2)
+	_ = hashes
+
+	// Truncate a standalone stage: corrupt.
+	data, err := os.ReadFile(filepath.Join(dir, "calibration.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRaw(t, dir, "truncated.snap", data[:len(data)/2])
+	// Flip a payload byte: checksum mismatch, corrupt.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-9] ^= 0x40
+	writeRaw(t, dir, "flipped.snap", flipped)
+	// Wrong artifact version: version-mismatch.
+	writeDeltaVersion(t, dir, "old-format", "", 99)
+	// Unknown kind with a good checksum: valid, checksum-only.
+	uh := snapshot.Header{Kind: "experiments.Baselines", Version: 1}
+	udata, _ := snapshot.Marshal(uh, func(w *snapshot.Writer) { w.String("opaque") })
+	writeRaw(t, dir, "baselines.snap", udata)
+	// Foreign file: aux.
+	writeRaw(t, dir, "notes.txt", []byte("operator scribbles"))
+
+	rep, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]struct {
+		class  Class
+		action Action
+	}{
+		"truncated.snap":   {ClassCorrupt, ActionQuarantine},
+		"flipped.snap":     {ClassCorrupt, ActionQuarantine},
+		"old-format.snap":  {ClassVersionMismatch, ActionQuarantine},
+		"baselines.snap":   {ClassValid, ActionKeep},
+		"notes.txt":        {ClassAux, ActionKeep},
+		"calibration.snap": {ClassValid, ActionKeep},
+	} {
+		f := findingFor(t, rep, path)
+		if f.Class != want.class || f.Action != want.action {
+			t.Errorf("%s: got %s/%s, want %s/%s", path, f.Class, f.Action, want.class, want.action)
+		}
+	}
+}
+
+func TestChainTruncationOnCorruptLink(t *testing.T) {
+	dir := t.TempDir()
+	chainDir(t, dir, 4)
+	// Rot pass 1: it must go, and passes 2 and 3 — structurally pristine
+	// — lose their verifiable lineage and go with it.
+	path := filepath.Join(dir, "probe-pass-1.snap")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass := map[string]Class{
+		"calibration.snap":  ClassValid,
+		"probe-pass-0.snap": ClassValid,
+		"probe-pass-1.snap": ClassCorrupt,
+		"probe-pass-2.snap": ClassBrokenChain,
+		"probe-pass-3.snap": ClassBrokenChain,
+	}
+	for path, want := range wantClass {
+		if f := findingFor(t, rep, path); f.Class != want {
+			t.Errorf("%s: got %s, want %s\n%s", path, f.Class, want, rep.Text())
+		}
+	}
+}
+
+func TestChainTruncationOnBaseMismatch(t *testing.T) {
+	dir := t.TempDir()
+	chainDir(t, dir, 2)
+	// Rewrite pass 1 with a forged base: checksum fine, lineage wrong.
+	writeDelta(t, dir, "probe-pass-1", "0000deadbeef0000")
+
+	rep, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findingFor(t, rep, "probe-pass-1.snap")
+	if f.Class != ClassBrokenChain || f.Action != ActionQuarantine {
+		t.Fatalf("forged base: got %s/%s\n%s", f.Class, f.Action, rep.Text())
+	}
+	if !strings.Contains(f.Detail, "does not match") {
+		t.Fatalf("detail %q should name the mismatch", f.Detail)
+	}
+	if f := findingFor(t, rep, "probe-pass-0.snap"); f.Class != ClassValid {
+		t.Fatalf("pass 0 should survive: %+v", f)
+	}
+}
+
+func TestChainAnchorMissing(t *testing.T) {
+	dir := t.TempDir()
+	h := writeDelta(t, dir, "probe-pass-0", "feedface")
+	writeDelta(t, dir, "probe-pass-1", h)
+	// No calibration checkpoint at all: pass 0's base is unverifiable,
+	// and the whole chain goes with it.
+	rep, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"probe-pass-0.snap", "probe-pass-1.snap"} {
+		if f := findingFor(t, rep, path); f.Class != ClassBrokenChain {
+			t.Errorf("%s: got %s, want broken-chain\n%s", path, f.Class, rep.Text())
+		}
+	}
+}
+
+func TestOrphanTmpAge(t *testing.T) {
+	dir := t.TempDir()
+	chainDir(t, dir, 1)
+	writeRaw(t, dir, "calibration.snap.tmp-dead1", []byte("partial"))
+	writeRaw(t, dir, "calibration.snap.tmp-live2", []byte("partial"))
+	old := time.Now().Add(-10 * time.Minute)
+	if err := os.Chtimes(filepath.Join(dir, "calibration.snap.tmp-dead1"), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scan(nil, dir, Options{MinTmpAge: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingFor(t, rep, "calibration.snap.tmp-dead1"); f.Class != ClassOrphanTmp || f.Action != ActionSweep {
+		t.Fatalf("old litter: %+v", f)
+	}
+	if f := findingFor(t, rep, "calibration.snap.tmp-live2"); f.Class != ClassOrphanTmp || f.Action != ActionKeep {
+		t.Fatalf("fresh temp must be kept (live writer may own it): %+v", f)
+	}
+
+	// Without the guard everything sweeps.
+	rep, err = Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingFor(t, rep, "calibration.snap.tmp-live2"); f.Action != ActionSweep {
+		t.Fatalf("MinTmpAge=0 should sweep all litter: %+v", f)
+	}
+}
+
+func TestStealClaims(t *testing.T) {
+	dir := t.TempDir()
+	h := writeDelta(t, dir, "calibration", "")
+	writeDelta(t, dir, "probe-pass-0", h)
+	// Shard sub-stage checkpoint plus its satisfied claim.
+	writeDelta(t, dir, "probe-pass-0/shard-1", "")
+	writeRaw(t, dir, "shards/probe-pass-0_shard-1.steal", []byte("2\n"))
+	// Claim for a stage nobody checkpointed: owner may be mid-build.
+	writeRaw(t, dir, "shards/probe-pass-1_shard-0.steal", []byte("0\n"))
+
+	rep, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingFor(t, rep, "shards/probe-pass-0_shard-1.steal"); f.Class != ClassStaleClaim || f.Action != ActionSweep {
+		t.Fatalf("satisfied claim: %+v", f)
+	}
+	if f := findingFor(t, rep, "shards/probe-pass-1_shard-0.steal"); f.Class != ClassAux || f.Action != ActionKeep {
+		t.Fatalf("unsatisfied claim must be kept: %+v", f)
+	}
+	if f := findingFor(t, rep, "probe-pass-0/shard-1.snap"); f.Class != ClassValid {
+		t.Fatalf("shard sub-stage should verify standalone: %+v", f)
+	}
+}
+
+func TestRepairConverges(t *testing.T) {
+	dir := t.TempDir()
+	chainDir(t, dir, 3)
+	// Corrupt pass 1, drop litter, leave a satisfied claim.
+	path := filepath.Join(dir, "probe-pass-1.snap")
+	data, _ := os.ReadFile(path)
+	data[len(data)-10] ^= 1
+	os.WriteFile(path, data, 0o644)
+	writeRaw(t, dir, "probe-pass-1.snap.tmp-x1", []byte("junk"))
+	writeRaw(t, dir, "shards/calibration.steal", []byte("1\n"))
+
+	rep, err := Repair(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Repaired(); got != 4 {
+		t.Fatalf("want 4 repairs (pass 1 + pass 2 quarantined, litter + claim swept), got %d:\n%s", got, rep.Text())
+	}
+	// Quarantine preserved the evidence under a flattened name.
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "probe-pass-1.snap")); err != nil {
+		t.Fatalf("quarantined checkpoint missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt checkpoint still in place")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "probe-pass-1.snap.tmp-x1")); !os.IsNotExist(err) {
+		t.Fatal("litter survived repair")
+	}
+
+	// A second pass over the repaired directory finds nothing to do:
+	// repair is idempotent and convergent.
+	rep2, err := Repair(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Problems() != 0 || rep2.Repaired() != 0 {
+		t.Fatalf("repair did not converge:\n%s", rep2.Text())
+	}
+}
+
+func TestStreamChain(t *testing.T) {
+	dir := t.TempDir()
+	h := writeDelta(t, dir, "calibration", "")
+	h0 := writeStreamHour(t, dir, 0, h)
+	writeStreamHour(t, dir, 1, h0)
+	writeStreamHour(t, dir, 2, "bogus-base")
+
+	rep, err := Scan(nil, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findingFor(t, rep, "stream-hour-1.snap"); f.Class != ClassValid {
+		t.Fatalf("hour 1: %+v", f)
+	}
+	if f := findingFor(t, rep, "stream-hour-2.snap"); f.Class != ClassBrokenChain {
+		t.Fatalf("hour 2 forged base: %+v\n%s", f, rep.Text())
+	}
+}
+
+// writeStreamHour persists a minimal HourDelta checkpoint whose
+// Pass.Base is base, returning its payload hash.
+func writeStreamHour(t *testing.T, dir string, k int, base string) string {
+	t.Helper()
+	h := snapshot.Header{Kind: snapshot.KindStreamDelta, Version: snapshot.VersionStreamDelta, Fingerprint: "fp"}
+	data, hash := snapshot.Marshal(h, func(w *snapshot.Writer) {
+		w.Int(k)
+		snapshot.EncodeChurnEvents(w, nil)
+		snapshot.EncodePassDelta(w, &cacheprobe.PassDelta{Base: base})
+		w.Int(0) // no DNS /24s
+	})
+	writeRaw(t, dir, StreamHour(k)+".snap", data)
+	return hash
+}
+
+func StreamHour(k int) string { return "stream-hour-" + string(rune('0'+k)) }
+
+// brokenFS refuses every mutation — the half-broken filesystem repair
+// must never wedge on.
+type brokenFS struct{ statefs.FS }
+
+func (brokenFS) Remove(string) error         { return errors.New("read-only filesystem") }
+func (brokenFS) Rename(string, string) error { return errors.New("read-only filesystem") }
+func (brokenFS) MkdirAll(path string) error  { return errors.New("read-only filesystem") }
+
+// TestRepairNeverWedges: when every sweep and quarantine fails, Repair
+// still returns the full report — actions downgrade to kept findings
+// with the failure in the detail, and nothing reports Applied.
+func TestRepairNeverWedges(t *testing.T) {
+	dir := t.TempDir()
+	chainDir(t, dir, 2)
+	damage(t, dir, "probe-pass-1.snap")
+	writeRaw(t, dir, "litter.snap.tmp-4", []byte("partial"))
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "litter.snap.tmp-4"), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Repair(brokenFS{statefs.Disk{}}, dir, Options{MinTmpAge: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Problems() == 0 {
+		t.Fatal("expected problems on a damaged directory")
+	}
+	if rep.Repaired() != 0 {
+		t.Errorf("Repaired() = %d on a read-only filesystem, want 0", rep.Repaired())
+	}
+	failed := 0
+	for _, f := range rep.Findings {
+		if f.Applied {
+			t.Errorf("%s reports Applied on a read-only filesystem", f.Path)
+		}
+		if strings.Contains(f.Detail, "failed: read-only filesystem") {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("no finding carries the repair failure in its detail")
+	}
+
+	// The damage is still there for a later, healthier repair.
+	if _, err := os.Stat(filepath.Join(dir, "probe-pass-1.snap")); err != nil {
+		t.Errorf("failed quarantine must leave the file in place: %v", err)
+	}
+	rep2, err := Repair(statefs.Disk{}, dir, Options{MinTmpAge: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Repaired() == 0 {
+		t.Error("healthy repair after a wedged one applied nothing")
+	}
+}
+
+// damage flips one trailing payload byte of an existing snap in place.
+func damage(t *testing.T, dir, rel string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

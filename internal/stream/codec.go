@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"fmt"
 	"sort"
 
 	"clientmap/internal/netx"
@@ -50,16 +49,15 @@ func DecodeHourDelta(r *snapshot.Reader) (*HourDelta, error) {
 		return nil, err
 	}
 	d.Pass = pass
-	n := r.Int()
+	// SliceLen bounds the count against the remaining payload, so a
+	// forged checkpoint can neither pre-allocate nor append-grow past
+	// the bytes it actually carries.
+	n := r.SliceLen(1)
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if n < 0 {
-		return nil, fmt.Errorf("%w: negative DNS count %d", snapshot.ErrCorrupt, n)
-	}
-	const maxPrealloc = 1 << 12
 	if n > 0 {
-		d.DNS = make([]netx.Slash24, 0, min(n, maxPrealloc))
+		d.DNS = make([]netx.Slash24, 0, n)
 	}
 	prev := uint64(0)
 	for i := 0; i < n; i++ {
